@@ -1,0 +1,89 @@
+// Fig. 7: runtime of each workload from 8 to 56 cores under the five
+// configurations of the paper — no data movement, regular PT + FIFO,
+// PSPT + FIFO, PSPT + LRU, PSPT + CMCP — with the memory constraint set to
+// the per-workload value of section 5.4.
+//
+// The grid (4 workloads x 7 core counts x 5 configs = 140 independent
+// simulations) runs on all host cores via the parallel runner.
+#include <cstdio>
+
+#include "cmcp.h"
+
+using namespace cmcp;
+
+int main() {
+  std::printf(
+      "Fig. 7 — Performance of NPB workloads and SCALE: regular page tables "
+      "vs PSPT under FIFO / LRU / CMCP\n(runtime in Mcycles, lower is "
+      "better; relative-to-baseline in parentheses)\n\n");
+
+  struct Config {
+    const char* name;
+    PageTableKind pt;
+    PolicyKind policy;
+    bool preload;
+  };
+  const Config configs[] = {
+      {"no data movement", PageTableKind::kRegular, PolicyKind::kFifo, true},
+      {"regular PT + FIFO", PageTableKind::kRegular, PolicyKind::kFifo, false},
+      {"PSPT + FIFO", PageTableKind::kPspt, PolicyKind::kFifo, false},
+      {"PSPT + LRU", PageTableKind::kPspt, PolicyKind::kLru, false},
+      {"PSPT + CMCP", PageTableKind::kPspt, PolicyKind::kCmcp, false},
+  };
+  const auto core_counts = metrics::paper_core_counts();
+
+  // Build the whole grid of specs, run it in parallel, then format.
+  std::vector<metrics::RunSpec> specs;
+  for (const auto which : wl::kAllPaperWorkloads) {
+    for (const CoreId cores : core_counts) {
+      for (const Config& c : configs) {
+        metrics::RunSpec spec;
+        spec.workload = which;
+        spec.cores = cores;
+        spec.pt_kind = c.pt;
+        spec.policy.kind = c.policy;
+        spec.policy.cmcp.p = wl::paper_best_p(which);
+        spec.preload = c.preload;
+        specs.push_back(spec);
+      }
+    }
+  }
+  const auto results = metrics::run_specs_parallel(specs);
+
+  std::size_t idx = 0;
+  for (const auto which : wl::kAllPaperWorkloads) {
+    std::vector<std::string> headers = {"cores"};
+    for (const Config& c : configs) headers.emplace_back(c.name);
+    metrics::Table table(headers);
+
+    double cmcp_vs_fifo_at_max = 0.0;
+    for (const CoreId cores : core_counts) {
+      std::vector<std::string> row = {std::to_string(cores)};
+      Cycles baseline = 0, fifo = 0, cmcp = 0;
+      for (const Config& c : configs) {
+        const auto& result = results[idx++];
+        if (c.preload) baseline = result.makespan;
+        if (c.policy == PolicyKind::kFifo && c.pt == PageTableKind::kPspt)
+          fifo = result.makespan;
+        if (c.policy == PolicyKind::kCmcp) cmcp = result.makespan;
+        const double rel =
+            static_cast<double>(baseline) / static_cast<double>(result.makespan);
+        row.push_back(metrics::fmt_double(result.makespan / 1e6, 1) + " (" +
+                      metrics::fmt_percent(rel, 0) + ")");
+      }
+      cmcp_vs_fifo_at_max = static_cast<double>(fifo) / cmcp - 1.0;
+      table.add_row(std::move(row));
+    }
+
+    std::printf("--- %s.B (memory: %s of footprint) ---\n%s",
+                std::string(to_string(which)).c_str(),
+                metrics::fmt_percent(wl::paper_memory_fraction(which), 0).c_str(),
+                table.markdown().c_str());
+    std::printf("CMCP vs FIFO at max cores: %+.1f%% (paper: BT +38%%, LU +25%%, "
+                "CG +23%%, SCALE +13%%)\n\n",
+                100.0 * cmcp_vs_fifo_at_max);
+    table.save_csv("results/fig7_" + std::string(to_string(which)) + ".csv");
+  }
+  std::printf("CSV written to results/fig7_<app>.csv\n");
+  return 0;
+}

@@ -1,0 +1,147 @@
+// google-benchmark microbenchmarks of the hot data structures: the fault
+// path executes these operations millions of times per simulated second, so
+// their real-world cost matters for simulator throughput.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "mm/pspt.h"
+#include "mm/regular_page_table.h"
+#include "policy/cmcp.h"
+#include "policy/fifo.h"
+#include "policy/lru_approx.h"
+#include "sim/tlb.h"
+#include "testing/policy_harness.h"
+
+namespace cmcp {
+namespace {
+
+void BM_TlbLookupHit(benchmark::State& state) {
+  sim::Tlb tlb(64);
+  for (UnitIdx u = 0; u < 64; ++u) tlb.insert(u);
+  UnitIdx u = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tlb.lookup(u));
+    u = (u + 1) % 64;
+  }
+}
+BENCHMARK(BM_TlbLookupHit);
+
+void BM_TlbMissInsertEvict(benchmark::State& state) {
+  sim::Tlb tlb(64);
+  UnitIdx u = 0;
+  for (auto _ : state) {
+    tlb.insert(u++);
+  }
+}
+BENCHMARK(BM_TlbMissInsertEvict);
+
+void BM_PsptMapUnmap(benchmark::State& state) {
+  const CoreId cores = static_cast<CoreId>(state.range(0));
+  mm::Pspt pt(cores);
+  UnitIdx u = 0;
+  for (auto _ : state) {
+    for (CoreId c = 0; c < cores; ++c) pt.map(c, u, u * 8);
+    benchmark::DoNotOptimize(pt.core_map_count(u));
+    pt.unmap_all(u);
+    ++u;
+  }
+}
+BENCHMARK(BM_PsptMapUnmap)->Arg(1)->Arg(4)->Arg(16)->Arg(56);
+
+void BM_RegularMapUnmap(benchmark::State& state) {
+  mm::RegularPageTable pt(56);
+  UnitIdx u = 0;
+  for (auto _ : state) {
+    pt.map(0, u, u * 8);
+    pt.unmap_all(u);
+    ++u;
+  }
+}
+BENCHMARK(BM_RegularMapUnmap);
+
+void BM_CoreMaskForEach(benchmark::State& state) {
+  const CoreMask mask = CoreMask::first_n(static_cast<CoreId>(state.range(0)));
+  for (auto _ : state) {
+    unsigned sum = 0;
+    mask.for_each([&](CoreId c) { sum += c; });
+    benchmark::DoNotOptimize(sum);
+  }
+}
+BENCHMARK(BM_CoreMaskForEach)->Arg(2)->Arg(56);
+
+void BM_FifoInsertEvict(benchmark::State& state) {
+  policy::FifoPolicy policy;
+  testing::PageFactory pages;
+  std::vector<mm::ResidentPage*> resident;
+  for (UnitIdx u = 0; u < 1024; ++u) {
+    resident.push_back(&pages.make(u));
+    policy.on_insert(*resident.back());
+  }
+  UnitIdx next = 1024;
+  for (auto _ : state) {
+    Cycles extra = 0;
+    mm::ResidentPage* victim = policy.pick_victim(0, extra);
+    policy.on_evict(*victim);
+    pages.registry().erase(*victim);
+    auto& pg = pages.make(next++);
+    policy.on_insert(pg);
+  }
+}
+BENCHMARK(BM_FifoInsertEvict);
+
+void BM_CmcpInsertEvict(benchmark::State& state) {
+  testing::FakePolicyHost host(1024, 56);
+  policy::CmcpConfig config;
+  config.p = 0.4;
+  policy::CmcpPolicy policy(host, config);
+  testing::PageFactory pages;
+  Rng rng(1);
+  for (UnitIdx u = 0; u < 1024; ++u)
+    policy.on_insert(pages.make(u, 1 + rng.next_below(8)));
+  UnitIdx next = 1024;
+  for (auto _ : state) {
+    Cycles extra = 0;
+    mm::ResidentPage* victim = policy.pick_victim(0, extra);
+    policy.on_evict(*victim);
+    pages.registry().erase(*victim);
+    auto& pg = pages.make(next++, 1 + rng.next_below(8));
+    policy.on_insert(pg);
+  }
+}
+BENCHMARK(BM_CmcpInsertEvict);
+
+void BM_CmcpAgingTick(benchmark::State& state) {
+  testing::FakePolicyHost host(4096, 56);
+  policy::CmcpConfig config;
+  config.p = 1.0;
+  config.age_limit_ticks = 4;
+  policy::CmcpPolicy policy(host, config);
+  testing::PageFactory pages;
+  Rng rng(2);
+  for (UnitIdx u = 0; u < 4096; ++u)
+    policy.on_insert(pages.make(u, 1 + rng.next_below(8)));
+  Cycles tick = 0;
+  for (auto _ : state) policy.on_tick(tick++);
+}
+BENCHMARK(BM_CmcpAgingTick);
+
+void BM_LruScanEvent(benchmark::State& state) {
+  policy::LruApproxPolicy policy;
+  testing::PageFactory pages;
+  std::vector<mm::ResidentPage*> resident;
+  for (UnitIdx u = 0; u < 1024; ++u) {
+    resident.push_back(&pages.make(u));
+    policy.on_insert(*resident.back());
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    policy.on_scan(*resident[i % resident.size()], (i & 3) != 0);
+    ++i;
+  }
+}
+BENCHMARK(BM_LruScanEvent);
+
+}  // namespace
+}  // namespace cmcp
+
+BENCHMARK_MAIN();

@@ -1,0 +1,62 @@
+// Example: choosing a page size for an out-of-core sparse solver.
+//
+// Walks a CG-style workload through device-memory budgets from generous to
+// starved, printing the best page size at each point — the decision matrix
+// behind the paper's Fig. 10 and its conclusion that "the choice of
+// appropriate page size depends primarily on the degree of memory
+// constraint in the system."
+//
+//   $ ./page_size_tuning
+#include <cstdio>
+
+#include "cmcp.h"
+
+int main() {
+  using namespace cmcp;
+
+  const CoreId cores = 32;
+  wl::WorkloadParams params;
+  params.cores = cores;
+  params.scale = 2.0;  // enough 2 MB units to matter
+  const auto workload = wl::make_paper_workload(wl::PaperWorkload::kCg, params);
+
+  std::printf(
+      "Out-of-core sparse solver, %u cores, footprint %.0f MB equivalent\n\n",
+      cores, workload->footprint_base_pages() * 4096.0 / 1e6);
+
+  const PageSizeClass sizes[] = {PageSizeClass::k4K, PageSizeClass::k64K,
+                                 PageSizeClass::k2M};
+
+  metrics::Table table({"device memory", "4kB (Mcyc)", "64kB (Mcyc)",
+                        "2MB (Mcyc)", "best"});
+
+  for (const double fraction : {1.0, 0.8, 0.6, 0.5, 0.4, 0.3}) {
+    std::vector<std::string> row = {metrics::fmt_percent(fraction, 0)};
+    Cycles best = ~Cycles{0};
+    PageSizeClass best_size = PageSizeClass::k4K;
+    for (const PageSizeClass size : sizes) {
+      core::SimulationConfig config;
+      config.machine.num_cores = cores;
+      config.machine.page_size = size;
+      config.memory_fraction = fraction;
+      config.policy.kind = PolicyKind::kCmcp;
+      config.policy.cmcp.p = 0.1;
+      const auto result = core::run_simulation(config, *workload);
+      row.push_back(metrics::fmt_double(result.makespan / 1e6, 1));
+      if (result.makespan < best) {
+        best = result.makespan;
+        best_size = size;
+      }
+    }
+    row.emplace_back(to_string(best_size));
+    table.add_row(std::move(row));
+  }
+
+  std::printf("%s\n", table.markdown().c_str());
+  std::printf(
+      "Rule of thumb from the sweep: generous memory -> large pages (TLB "
+      "reach);\ntight memory -> small pages (transfer granularity); 64 kB is "
+      "the hedge —\nexactly the paper's conclusion about the Phi's "
+      "experimental page size.\n");
+  return 0;
+}

@@ -1,0 +1,27 @@
+// Umbrella header: the public API of the cmcp library.
+//
+// Quick tour:
+//   * core/simulation.h      — configure and run one experiment
+//   * policy/*               — replacement policies (CMCP, FIFO, LRU, ...)
+//   * mm/*                   — page tables (regular / PSPT), frames, pages
+//   * sim/*                  — the many-core machine model and cost model
+//   * workloads/*            — the paper's four workloads + synthetics
+//   * metrics/*              — counters, tables, experiment runner
+#pragma once
+
+#include "core/memory_manager.h"
+#include "core/simulation.h"
+#include "metrics/experiment.h"
+#include "metrics/parallel_runner.h"
+#include "metrics/stats.h"
+#include "metrics/table.h"
+#include "mm/phi64k.h"
+#include "policy/cmcp.h"
+#include "policy/policy_factory.h"
+#include "workloads/bt.h"
+#include "workloads/cg.h"
+#include "workloads/lu.h"
+#include "workloads/stencil.h"
+#include "workloads/synthetic.h"
+#include "workloads/trace.h"
+#include "workloads/workload_factory.h"

@@ -1,0 +1,28 @@
+// Always-on invariant checks. The simulator is deterministic, so a violated
+// invariant is a bug, never a data artifact; we abort loudly in every build
+// type rather than propagate corrupted statistics into EXPERIMENTS.md.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace cmcp::detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file, int line,
+                                      const char* msg) {
+  std::fprintf(stderr, "cmcp: check failed: %s at %s:%d%s%s\n", expr, file, line,
+               msg[0] ? " — " : "", msg);
+  std::abort();
+}
+
+}  // namespace cmcp::detail
+
+#define CMCP_CHECK(expr)                                                \
+  do {                                                                  \
+    if (!(expr)) ::cmcp::detail::check_failed(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define CMCP_CHECK_MSG(expr, msg)                                       \
+  do {                                                                  \
+    if (!(expr)) ::cmcp::detail::check_failed(#expr, __FILE__, __LINE__, msg); \
+  } while (0)

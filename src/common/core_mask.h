@@ -1,0 +1,93 @@
+// Fixed-capacity bitset of CPU cores. PSPT tracks, per mapping unit, exactly
+// which cores hold a private PTE; shootdown targeting and the CMCP core-map
+// count both derive from this mask.
+#pragma once
+
+#include <array>
+#include <bit>
+#include <cstdint>
+
+#include "common/assert.h"
+#include "common/types.h"
+
+namespace cmcp {
+
+class CoreMask {
+ public:
+  /// Upper bound on simulated cores (Knights Corner has 61; leave headroom).
+  static constexpr CoreId kMaxCores = 256;
+
+  constexpr CoreMask() = default;
+
+  void set(CoreId core) {
+    CMCP_CHECK(core < kMaxCores);
+    words_[core >> 6] |= std::uint64_t{1} << (core & 63);
+  }
+
+  void clear(CoreId core) {
+    CMCP_CHECK(core < kMaxCores);
+    words_[core >> 6] &= ~(std::uint64_t{1} << (core & 63));
+  }
+
+  bool test(CoreId core) const {
+    CMCP_CHECK(core < kMaxCores);
+    return (words_[core >> 6] >> (core & 63)) & 1;
+  }
+
+  void reset() { words_ = {}; }
+
+  bool any() const {
+    for (auto w : words_)
+      if (w != 0) return true;
+    return false;
+  }
+
+  bool none() const { return !any(); }
+
+  /// Number of set bits == number of mapping cores.
+  unsigned count() const {
+    unsigned c = 0;
+    for (auto w : words_) c += static_cast<unsigned>(std::popcount(w));
+    return c;
+  }
+
+  /// Invoke fn(CoreId) for every set bit, ascending.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (std::size_t wi = 0; wi < words_.size(); ++wi) {
+      std::uint64_t w = words_[wi];
+      while (w != 0) {
+        const unsigned bit = static_cast<unsigned>(std::countr_zero(w));
+        fn(static_cast<CoreId>(wi * 64 + bit));
+        w &= w - 1;
+      }
+    }
+  }
+
+  /// All cores in [0, n).
+  static CoreMask first_n(CoreId n) {
+    CMCP_CHECK(n <= kMaxCores);
+    CoreMask m;
+    for (CoreId i = 0; i < n; ++i) m.set(i);
+    return m;
+  }
+
+  friend bool operator==(const CoreMask&, const CoreMask&) = default;
+
+  CoreMask operator|(const CoreMask& o) const {
+    CoreMask r;
+    for (std::size_t i = 0; i < words_.size(); ++i) r.words_[i] = words_[i] | o.words_[i];
+    return r;
+  }
+
+  CoreMask operator&(const CoreMask& o) const {
+    CoreMask r;
+    for (std::size_t i = 0; i < words_.size(); ++i) r.words_[i] = words_[i] & o.words_[i];
+    return r;
+  }
+
+ private:
+  std::array<std::uint64_t, kMaxCores / 64> words_{};
+};
+
+}  // namespace cmcp

@@ -1,0 +1,100 @@
+// Minimal intrusive doubly-linked list. Replacement policies keep resident
+// pages on queues; intrusive links give O(1) unlink without per-node heap
+// allocation, which matters because every page fault touches these lists.
+#pragma once
+
+#include <cstddef>
+
+#include "common/assert.h"
+
+namespace cmcp {
+
+struct ListNode {
+  ListNode* prev = nullptr;
+  ListNode* next = nullptr;
+
+  bool linked() const { return prev != nullptr; }
+};
+
+/// Intrusive list over T, where T derives from (or contains) a ListNode
+/// reachable via the NodeOf functor. T must outlive its list membership.
+template <typename T, ListNode T::* Member>
+class IntrusiveList {
+ public:
+  IntrusiveList() {
+    head_.prev = &head_;
+    head_.next = &head_;
+  }
+
+  IntrusiveList(const IntrusiveList&) = delete;
+  IntrusiveList& operator=(const IntrusiveList&) = delete;
+
+  bool empty() const { return head_.next == &head_; }
+  std::size_t size() const { return size_; }
+
+  void push_back(T& item) { insert_before(head_, node(item)); }
+  void push_front(T& item) { insert_before(*head_.next, node(item)); }
+
+  T* front() { return empty() ? nullptr : owner(head_.next); }
+  T* back() { return empty() ? nullptr : owner(head_.prev); }
+
+  /// Unlink item; item must currently be on this list.
+  void erase(T& item) {
+    ListNode& n = node(item);
+    CMCP_CHECK_MSG(n.linked(), "erase of unlinked node");
+    n.prev->next = n.next;
+    n.next->prev = n.prev;
+    n.prev = nullptr;
+    n.next = nullptr;
+    --size_;
+  }
+
+  T* pop_front() {
+    T* item = front();
+    if (item != nullptr) erase(*item);
+    return item;
+  }
+
+  /// Move item to the back (most-recently-inserted position).
+  void move_to_back(T& item) {
+    erase(item);
+    push_back(item);
+  }
+
+  static bool on_any_list(const T& item) { return (item.*Member).linked(); }
+
+  /// Iterate in front-to-back order; fn may not mutate the list.
+  template <typename Fn>
+  void for_each(Fn&& fn) {
+    for (ListNode* n = head_.next; n != &head_; n = n->next) fn(*owner(n));
+  }
+
+  T* next_of(T& item) {
+    ListNode* n = node(item).next;
+    return n == &head_ ? nullptr : owner(n);
+  }
+
+ private:
+  static ListNode& node(T& item) { return item.*Member; }
+
+  static T* owner(ListNode* n) {
+    // Recover T* from the member pointer offset.
+    const auto offset = reinterpret_cast<std::ptrdiff_t>(
+        &(static_cast<T*>(nullptr)->*Member));
+    return reinterpret_cast<T*>(reinterpret_cast<char*>(n) - offset);
+  }
+
+  void insert_before(ListNode& pos, ListNode& n) {
+    CMCP_CHECK_MSG(!n.linked(), "insert of already-linked node");
+    n.prev = pos.prev;
+    n.next = &pos;
+    pos.prev->next = &n;
+    pos.prev = &n;
+    ++size_;
+  }
+
+  ListNode head_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace cmcp

@@ -1,0 +1,115 @@
+// Fundamental types shared by every cmcp module.
+//
+// The simulator works in units of 4 kB "base pages". A mapping unit is one
+// page of the configured page size (4 kB, 64 kB or 2 MB on the Xeon Phi) and
+// therefore covers 1, 16 or 512 base pages.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+#include <limits>
+#include <string_view>
+
+namespace cmcp {
+
+/// Simulated CPU cycles (virtual time).
+using Cycles = std::uint64_t;
+
+/// Identifier of a simulated CPU core, 0-based.
+using CoreId = std::uint32_t;
+
+/// Virtual page number in base-page (4 kB) units.
+using Vpn = std::uint64_t;
+
+/// Index of a mapping unit: Vpn >> log2(base pages per unit).
+using UnitIdx = std::uint64_t;
+
+/// Physical frame number of a device-resident mapping unit.
+using Pfn = std::uint64_t;
+
+inline constexpr std::uint64_t kBasePageBytes = 4096;
+inline constexpr unsigned kBasePageShift = 12;
+
+inline constexpr Pfn kInvalidPfn = std::numeric_limits<Pfn>::max();
+inline constexpr UnitIdx kInvalidUnit = std::numeric_limits<UnitIdx>::max();
+inline constexpr CoreId kInvalidCore = std::numeric_limits<CoreId>::max();
+
+/// Page sizes supported by the Knights Corner Xeon Phi MMU.
+enum class PageSizeClass : std::uint8_t {
+  k4K = 0,
+  k64K = 1,  ///< experimental 16 x 4 kB grouped format (paper section 4)
+  k2M = 2,
+};
+
+/// log2 of the number of base pages per mapping unit.
+constexpr unsigned unit_shift(PageSizeClass c) {
+  switch (c) {
+    case PageSizeClass::k4K: return 0;
+    case PageSizeClass::k64K: return 4;
+    case PageSizeClass::k2M: return 9;
+  }
+  return 0;
+}
+
+/// Number of 4 kB base pages covered by one mapping unit.
+constexpr std::uint64_t base_pages_per_unit(PageSizeClass c) {
+  return std::uint64_t{1} << unit_shift(c);
+}
+
+/// Bytes covered by one mapping unit.
+constexpr std::uint64_t unit_bytes(PageSizeClass c) {
+  return kBasePageBytes << unit_shift(c);
+}
+
+constexpr std::string_view to_string(PageSizeClass c) {
+  switch (c) {
+    case PageSizeClass::k4K: return "4kB";
+    case PageSizeClass::k64K: return "64kB";
+    case PageSizeClass::k2M: return "2MB";
+  }
+  return "?";
+}
+
+/// Convert a base-page number to the mapping unit that contains it.
+constexpr UnitIdx unit_of(Vpn vpn, PageSizeClass c) { return vpn >> unit_shift(c); }
+
+/// First base page of a mapping unit.
+constexpr Vpn first_vpn(UnitIdx unit, PageSizeClass c) { return unit << unit_shift(c); }
+
+/// Page table organizations compared by the paper.
+enum class PageTableKind : std::uint8_t {
+  kRegular = 0,  ///< one shared set of page tables; shootdowns hit every core
+  kPspt = 1,     ///< per-core partially separated page tables (CCGrid'13)
+};
+
+constexpr std::string_view to_string(PageTableKind k) {
+  return k == PageTableKind::kRegular ? "regularPT" : "PSPT";
+}
+
+/// Replacement policies available in the library.
+enum class PolicyKind : std::uint8_t {
+  kFifo = 0,
+  kLru = 1,       ///< Linux-style active/inactive approximation
+  kCmcp = 2,      ///< the paper's contribution
+  kClock = 3,     ///< second-chance; extension baseline
+  kLfu = 4,       ///< least frequently used; extension baseline
+  kRandom = 5,    ///< extension baseline
+  kCmcpDynamicP = 6,  ///< CMCP with the paper's future-work feedback controller
+  kArc = 7,           ///< fault-driven ARC variant; extension baseline
+};
+
+constexpr std::string_view to_string(PolicyKind k) {
+  switch (k) {
+    case PolicyKind::kFifo: return "FIFO";
+    case PolicyKind::kLru: return "LRU";
+    case PolicyKind::kCmcp: return "CMCP";
+    case PolicyKind::kClock: return "CLOCK";
+    case PolicyKind::kLfu: return "LFU";
+    case PolicyKind::kRandom: return "RANDOM";
+    case PolicyKind::kCmcpDynamicP: return "CMCP-dyn";
+    case PolicyKind::kArc: return "ARC-f";
+  }
+  return "?";
+}
+
+}  // namespace cmcp

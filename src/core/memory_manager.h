@@ -1,0 +1,117 @@
+// The OS-level hierarchical memory manager (paper's proposed model,
+// Fig. 1b/1c): the computation area is partially resident in device RAM and
+// backed by host memory over PCIe; this class handles every memory
+// reference, TLB fill, page fault, eviction, shootdown and transfer, and
+// charges the cycle costs to the right core and category.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "common/types.h"
+#include "mm/address.h"
+#include "mm/frame_allocator.h"
+#include "mm/page_registry.h"
+#include "mm/page_table.h"
+#include "policy/policy_factory.h"
+#include "policy/replacement_policy.h"
+#include "sim/machine.h"
+
+namespace cmcp::core {
+
+/// Factory for user-defined replacement policies (see examples/custom_policy).
+using PolicyFactory = std::function<std::unique_ptr<policy::ReplacementPolicy>(
+    policy::PolicyHost&)>;
+
+struct MemoryManagerConfig {
+  PageTableKind pt_kind = PageTableKind::kPspt;
+  policy::PolicyParams policy;
+  /// When set, overrides `policy` with a user-supplied implementation.
+  PolicyFactory custom_policy;
+  /// Device frames available to the computation area, in mapping units.
+  std::uint64_t capacity_units = 0;
+  /// Sequential prefetch: on a major fault, also fetch up to this many
+  /// following non-resident units — but only into FREE frames (prefetch
+  /// never evicts). 0 disables. Extension feature; see
+  /// bench/ablation_prefetch.
+  unsigned prefetch_degree = 0;
+  /// Asynchronous dirty write-back: the evicting core queues the transfer
+  /// and continues (the frame's old contents are staged in a bounce
+  /// buffer); the write still occupies the PCIe link. Default off — the
+  /// paper's kernel writes back synchronously.
+  bool async_writeback = false;
+  /// "No data movement" baseline: all units start resident (and pinned —
+  /// capacity must cover the footprint). First touches become cheap PTE
+  /// faults with no PCIe traffic, matching data that was allocated on the
+  /// device to begin with.
+  bool preload = false;
+};
+
+class MemoryManager final : public policy::PolicyHost {
+ public:
+  MemoryManager(sim::Machine& machine, const mm::ComputationArea& area,
+                const MemoryManagerConfig& config);
+
+  /// One reference by `core` to base page `vpn` at virtual time `now`.
+  /// Returns the cycles the reference consumed on `core` (the caller
+  /// advances the core clock).
+  Cycles access(CoreId core, Vpn vpn, bool write, Cycles now);
+
+  /// Run scanner / policy ticks that are due at or before `watermark`.
+  /// The engine calls this with a monotonically non-decreasing global time.
+  void run_periodic(Cycles watermark);
+
+  // --- PolicyHost ----------------------------------------------------------
+  std::uint64_t capacity_units() const override { return config_.capacity_units; }
+  unsigned num_cores() const override { return machine_.num_cores(); }
+  bool unit_accessed(const mm::ResidentPage& page) const override;
+  Cycles core_clock(CoreId core) const override;
+  Cycles clear_accessed_and_shootdown(mm::ResidentPage& page, CoreId initiator,
+                                      Cycles now) override;
+
+  // --- introspection -------------------------------------------------------
+  const mm::PageTable& page_table() const { return *page_table_; }
+  const mm::PageRegistry& registry() const { return registry_; }
+  const mm::ComputationArea& area() const { return area_; }
+  policy::ReplacementPolicy& policy() { return *policy_; }
+  bool scanner_enabled() const { return policy_->wants_scanner(); }
+  std::uint64_t scans_completed() const { return scans_completed_; }
+
+  /// Histogram of resident units by number of mapping cores:
+  /// result[c] = units currently mapped by exactly c cores (Fig. 6 data).
+  std::vector<std::uint64_t> sharing_histogram() const;
+
+ private:
+  /// Evict one unit chosen by the policy; returns cycles consumed at
+  /// `faulting_core` and frees a frame.
+  Cycles evict_one(CoreId faulting_core, Cycles now);
+
+  /// Issue sequential prefetches following `unit`; returns issue cycles.
+  Cycles prefetch_after(CoreId core, UnitIdx unit, Cycles now);
+
+  /// Shoot down `unit` on `targets`, handling the initiator's own TLB
+  /// locally. Returns initiator cycles.
+  Cycles shootdown_unit(CoreId initiator, Cycles now, CoreMask targets,
+                        UnitIdx unit);
+
+  void preload_all();
+
+  sim::Machine& machine_;
+  mm::ComputationArea area_;
+  MemoryManagerConfig config_;
+  std::unique_ptr<mm::PageTable> page_table_;
+  mm::FrameAllocator allocator_;
+  mm::PageRegistry registry_;
+  std::unique_ptr<policy::ReplacementPolicy> policy_;
+
+  /// Address-space-wide page-table lock (regular tables only).
+  Cycles pt_lock_busy_until_ = 0;
+
+  Cycles next_tick_ = 0;
+  std::uint64_t scans_completed_ = 0;
+  /// Pinned mode: preloaded with full capacity — no evictions ever, policy
+  /// bookkeeping bypassed.
+  bool pinned_ = false;
+};
+
+}  // namespace cmcp::core

@@ -1,0 +1,233 @@
+#include "core/simulation.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cmath>
+#include <queue>
+
+#include "common/assert.h"
+
+namespace cmcp::core {
+
+double SimulationResult::avg_major_faults_per_core() const {
+  if (per_core.empty()) return 0.0;
+  return static_cast<double>(app_total.major_faults) /
+         static_cast<double>(per_core.size());
+}
+
+double SimulationResult::avg_remote_invalidations_per_core() const {
+  if (per_core.empty()) return 0.0;
+  return static_cast<double>(app_total.remote_invalidations_received) /
+         static_cast<double>(per_core.size());
+}
+
+double SimulationResult::avg_dtlb_misses_per_core() const {
+  if (per_core.empty()) return 0.0;
+  return static_cast<double>(app_total.dtlb_misses) /
+         static_cast<double>(per_core.size());
+}
+
+sim::MachineConfig Simulation::machine_config_for(const SimulationConfig& config,
+                                                  const wl::Workload& workload) {
+  sim::MachineConfig mc = config.machine;
+  mc.num_cores = workload.num_cores();
+  return mc;
+}
+
+mm::ComputationArea Simulation::area_for(const SimulationConfig& config,
+                                         const wl::Workload& workload) {
+  // Align the base to the largest unit so any page size is valid.
+  const Vpn base = (config.area_base_vpn + 511) & ~Vpn{511};
+  return mm::ComputationArea(base, workload.footprint_base_pages(),
+                             config.machine.page_size);
+}
+
+MemoryManagerConfig Simulation::mm_config_for(const SimulationConfig& config,
+                                              const mm::ComputationArea& area) {
+  MemoryManagerConfig mmc;
+  mmc.pt_kind = config.pt_kind;
+  mmc.policy = config.policy;
+  mmc.custom_policy = config.custom_policy;
+  mmc.preload = config.preload;
+  mmc.prefetch_degree = config.prefetch_degree;
+  mmc.async_writeback = config.async_writeback;
+  if (config.capacity_units_override != 0) {
+    mmc.capacity_units = config.capacity_units_override;
+  } else {
+    const double frac = std::max(config.memory_fraction, 0.0);
+    mmc.capacity_units = static_cast<std::uint64_t>(
+        std::ceil(frac * static_cast<double>(area.num_units())));
+  }
+  mmc.capacity_units = std::max<std::uint64_t>(mmc.capacity_units, 1);
+  if (config.preload)
+    mmc.capacity_units = std::max(mmc.capacity_units, area.num_units());
+  return mmc;
+}
+
+Simulation::Simulation(const SimulationConfig& config, const wl::Workload& workload)
+    : config_(config),
+      workload_(workload),
+      machine_(machine_config_for(config, workload)),
+      area_(area_for(config, workload)),
+      mm_(machine_, area_, mm_config_for(config, area_)) {}
+
+SimulationResult Simulation::run() {
+  CMCP_CHECK_MSG(!ran_, "Simulation::run is single-use");
+  ran_ = true;
+
+  const CoreId n = machine_.num_cores();
+
+  enum class CoreState : std::uint8_t { kRunning, kAtBarrier, kDone };
+  struct PerCore {
+    std::unique_ptr<wl::AccessStream> stream;
+    CoreState state = CoreState::kRunning;
+    wl::Op pending;            ///< in-progress access op
+    std::uint32_t progress = 0;  ///< pages of `pending` already processed
+    bool has_pending = false;
+  };
+  std::vector<PerCore> cores(n);
+  for (CoreId c = 0; c < n; ++c) cores[c].stream = workload_.make_stream(c);
+
+  // Min-heap of (clock, core) with lazy re-push on stale entries.
+  struct HeapEntry {
+    Cycles time;
+    CoreId core;
+    bool operator>(const HeapEntry& o) const {
+      return time != o.time ? time > o.time : core > o.core;
+    }
+  };
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>> heap;
+  for (CoreId c = 0; c < n; ++c) heap.push({0, c});
+
+  CoreId active = n;       // cores not yet done
+  CoreId at_barrier = 0;   // cores waiting at the current barrier
+
+  const auto release_barrier_if_complete = [&] {
+    if (active == 0 || at_barrier != active) return;
+    Cycles tmax = 0;
+    for (CoreId c = 0; c < n; ++c) {
+      if (cores[c].state == CoreState::kAtBarrier)
+        tmax = std::max(tmax, machine_.clock(c));
+    }
+    for (CoreId c = 0; c < n; ++c) {
+      if (cores[c].state != CoreState::kAtBarrier) continue;
+      machine_.counters(c).cycles_barrier += tmax - machine_.clock(c);
+      machine_.set_clock(c, tmax);
+      cores[c].state = CoreState::kRunning;
+      heap.push({tmax, c});
+    }
+    at_barrier = 0;
+  };
+
+  while (!heap.empty()) {
+    const auto [time, core] = heap.top();
+    heap.pop();
+    if (cores[core].state != CoreState::kRunning) continue;
+    const Cycles actual = machine_.clock(core);
+    if (actual != time) {
+      // Clock advanced (shootdown interrupts) since this entry was pushed.
+      heap.push({actual, core});
+      continue;
+    }
+
+    mm_.run_periodic(actual);
+
+    PerCore& pc = cores[core];
+    // One page of an in-progress access op per engine event: shared
+    // resources (PCIe link, invalidation slot, page-table locks) are
+    // then updated in near-global time order, so queueing is resolved
+    // at page granularity.
+    if (pc.has_pending) {
+      const wl::Op& op = pc.pending;
+      const Vpn vpn = area_.base_vpn() + op.vpn +
+                      static_cast<Vpn>(pc.progress) * op.stride;
+      for (std::uint16_t r = 0; r < op.repeat; ++r) {
+        const Cycles now = machine_.clock(core);
+        machine_.advance(core, mm_.access(core, vpn, op.write, now));
+      }
+      if (op.cycles > 0) {
+        machine_.counters(core).cycles_compute += op.cycles;
+        machine_.advance(core, op.cycles);
+      }
+      if (++pc.progress >= op.count) pc.has_pending = false;
+      heap.push({machine_.clock(core), core});
+      continue;
+    }
+
+    const wl::Op op = pc.stream->next();
+    switch (op.kind) {
+      case wl::OpKind::kAccess: {
+        CMCP_CHECK(op.count > 0);
+        pc.pending = op;
+        pc.progress = 0;
+        pc.has_pending = true;
+        heap.push({machine_.clock(core), core});
+        break;
+      }
+      case wl::OpKind::kCompute: {
+        machine_.counters(core).cycles_compute += op.cycles;
+        machine_.advance(core, op.cycles);
+        heap.push({machine_.clock(core), core});
+        break;
+      }
+      case wl::OpKind::kSyscall: {
+        // IHK offload: request over IKC/PCIe, host service, response back.
+        // The calling core blocks for the whole round trip (paper section
+        // 2.1: "heavy system calls are shipped to and executed on the
+        // host").
+        const sim::CostModel& cost = machine_.cost();
+        metrics::CoreCounters& ctr = machine_.counters(core);
+        const Cycles start = machine_.clock(core) + cost.syscall_local;
+        Cycles queue_wait = 0;
+        const Cycles req_done = machine_.pcie().transfer(
+            sim::PcieDir::kDeviceToHost, start,
+            cost.syscall_message_bytes + op.count, &queue_wait);
+        const Cycles host_done = req_done + cost.syscall_host_dispatch + op.cycles;
+        const Cycles resp_done = machine_.pcie().transfer(
+            sim::PcieDir::kHostToDevice, host_done, cost.syscall_message_bytes,
+            &queue_wait);
+        ++ctr.syscalls;
+        ctr.cycles_syscall += resp_done - machine_.clock(core);
+        machine_.set_clock(core, resp_done);
+        heap.push({machine_.clock(core), core});
+        break;
+      }
+      case wl::OpKind::kBarrier: {
+        pc.state = CoreState::kAtBarrier;
+        ++at_barrier;
+        release_barrier_if_complete();
+        break;
+      }
+      case wl::OpKind::kEnd: {
+        pc.state = CoreState::kDone;
+        --active;
+        // A barrier pending among the remaining cores may now be complete.
+        release_barrier_if_complete();
+        break;
+      }
+    }
+  }
+  CMCP_CHECK_MSG(active == 0 && at_barrier == 0,
+                 "engine deadlock: cores stuck at a barrier");
+
+  SimulationResult result;
+  for (CoreId c = 0; c < n; ++c)
+    result.makespan = std::max(result.makespan, machine_.clock(c));
+  result.per_core.reserve(n);
+  for (CoreId c = 0; c < n; ++c) result.per_core.push_back(machine_.counters(c));
+  result.app_total = machine_.aggregate_app_counters();
+  result.scanner = machine_.counters(machine_.scanner_core());
+  result.footprint_units = area_.num_units();
+  result.capacity_units = mm_.capacity_units();
+  result.scans = mm_.scans_completed();
+  result.sharing_histogram = mm_.sharing_histogram();
+  return result;
+}
+
+SimulationResult run_simulation(const SimulationConfig& config,
+                                const wl::Workload& workload) {
+  Simulation sim(config, workload);
+  return sim.run();
+}
+
+}  // namespace cmcp::core

@@ -1,0 +1,100 @@
+// Public facade: run one workload on one machine/memory-management
+// configuration and collect the observables the paper reports.
+//
+// The engine is a deterministic virtual-time interleaver: every core owns a
+// private cycle clock, and the engine always executes the op of the
+// earliest core next (ties broken by core id), so shared-resource queueing
+// (PCIe link, page-table locks, invalidation slot) is resolved in a single
+// reproducible order. Identical configuration => bit-identical results.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "core/memory_manager.h"
+#include "metrics/counters.h"
+#include "sim/machine.h"
+#include "workloads/access_stream.h"
+
+namespace cmcp::core {
+
+struct SimulationConfig {
+  sim::MachineConfig machine;
+  PageTableKind pt_kind = PageTableKind::kPspt;
+  policy::PolicyParams policy;
+  /// When set, overrides `policy` with a user-supplied implementation
+  /// (examples/custom_policy.cpp).
+  PolicyFactory custom_policy;
+
+  /// Device memory granted to the computation area, as a fraction of its
+  /// footprint — the paper's "% of memory provided" axis. Values >= 1 mean
+  /// no constraint. Ignored when capacity_units_override != 0.
+  double memory_fraction = 1.0;
+  std::uint64_t capacity_units_override = 0;
+
+  /// "No data movement" baseline: preload everything into device RAM
+  /// (forces effective capacity >= footprint).
+  bool preload = false;
+
+  /// Sequential readahead degree on major faults (0 = off).
+  unsigned prefetch_degree = 0;
+
+  /// Queue dirty write-backs instead of blocking the evicting core.
+  bool async_writeback = false;
+
+  /// Base of the computation area (2 MB aligned so all unit sizes fit).
+  Vpn area_base_vpn = 0;
+};
+
+struct SimulationResult {
+  Cycles makespan = 0;  ///< max core finish time == runtime
+  std::vector<metrics::CoreCounters> per_core;  ///< app cores only
+  metrics::CoreCounters app_total;
+  metrics::CoreCounters scanner;
+
+  std::uint64_t footprint_units = 0;
+  std::uint64_t capacity_units = 0;
+  std::uint64_t scans = 0;
+
+  /// hist[c] = resident units mapped by exactly c cores at end of run
+  /// (Fig. 6 uses unconstrained PSPT runs so this reflects true sharing).
+  std::vector<std::uint64_t> sharing_histogram;
+
+  double avg_major_faults_per_core() const;
+  double avg_remote_invalidations_per_core() const;
+  double avg_dtlb_misses_per_core() const;
+};
+
+class Simulation {
+ public:
+  Simulation(const SimulationConfig& config, const wl::Workload& workload);
+
+  /// Run to completion and return the collected results. Single use.
+  SimulationResult run();
+
+  /// The machine (for inspection in tests; valid after construction).
+  sim::Machine& machine() { return machine_; }
+  MemoryManager& memory_manager() { return mm_; }
+
+ private:
+  static sim::MachineConfig machine_config_for(const SimulationConfig& config,
+                                               const wl::Workload& workload);
+  static mm::ComputationArea area_for(const SimulationConfig& config,
+                                      const wl::Workload& workload);
+  static MemoryManagerConfig mm_config_for(const SimulationConfig& config,
+                                           const mm::ComputationArea& area);
+
+  const SimulationConfig config_;
+  const wl::Workload& workload_;
+  sim::Machine machine_;
+  mm::ComputationArea area_;
+  MemoryManager mm_;
+  bool ran_ = false;
+};
+
+/// Convenience: configure + run in one call.
+SimulationResult run_simulation(const SimulationConfig& config,
+                                const wl::Workload& workload);
+
+}  // namespace cmcp::core

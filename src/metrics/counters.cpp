@@ -1,0 +1,3 @@
+#include "metrics/counters.h"
+
+// CoreCounters is a plain aggregate; this TU anchors the header.

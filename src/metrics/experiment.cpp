@@ -1,0 +1,53 @@
+#include "metrics/experiment.h"
+
+#include <cstdlib>
+#include <sstream>
+
+namespace cmcp::metrics {
+
+std::string RunSpec::label() const {
+  std::ostringstream ss;
+  ss << to_string(workload) << '.' << size_suffix(size) << ' '
+     << to_string(pt_kind) << '+' << to_string(policy.kind) << ' ' << cores
+     << "c " << to_string(page_size);
+  if (preload) ss << " (no data movement)";
+  return ss.str();
+}
+
+core::SimulationConfig to_config(const RunSpec& spec) {
+  core::SimulationConfig config;
+  config.machine.num_cores = spec.cores;
+  config.machine.page_size = spec.page_size;
+  config.pt_kind = spec.pt_kind;
+  config.policy = spec.policy;
+  config.preload = spec.preload;
+  config.memory_fraction = spec.memory_fraction > 0.0
+                               ? spec.memory_fraction
+                               : wl::paper_memory_fraction(spec.workload);
+  return config;
+}
+
+core::SimulationResult run_spec(const RunSpec& spec) {
+  wl::WorkloadParams base;
+  base.cores = spec.cores;
+  base.seed = spec.seed;
+  if (spec.scale > 0.0) base.scale = spec.scale;
+  const auto workload = wl::make_paper_workload(spec.workload, base, spec.size);
+  return core::run_simulation(to_config(spec), *workload);
+}
+
+double relative_performance(const core::SimulationResult& baseline,
+                            const core::SimulationResult& run) {
+  if (run.makespan == 0) return 0.0;
+  return static_cast<double>(baseline.makespan) /
+         static_cast<double>(run.makespan);
+}
+
+bool fast_mode() { return std::getenv("CMCP_BENCH_FAST") != nullptr; }
+
+std::vector<CoreId> paper_core_counts() {
+  if (fast_mode()) return {8, 24, 56};
+  return {8, 16, 24, 32, 40, 48, 56};
+}
+
+}  // namespace cmcp::metrics

@@ -1,0 +1,48 @@
+// Experiment runner shared by the bench binaries: one RunSpec describes one
+// cell of a paper figure/table; run_spec() builds the workload + simulation
+// and returns the observables.
+#pragma once
+
+#include <string>
+
+#include "core/simulation.h"
+#include "workloads/workload_factory.h"
+
+namespace cmcp::metrics {
+
+struct RunSpec {
+  wl::PaperWorkload workload = wl::PaperWorkload::kCg;
+  wl::WorkloadSize size = wl::WorkloadSize::kSmall;
+  CoreId cores = 56;
+  PageTableKind pt_kind = PageTableKind::kPspt;
+  policy::PolicyParams policy;
+  /// Memory provided as a fraction of the footprint; <= 0 selects the
+  /// paper's per-workload constraint (section 5.4).
+  double memory_fraction = -1.0;
+  bool preload = false;  ///< no-data-movement baseline
+  PageSizeClass page_size = PageSizeClass::k4K;
+  std::uint64_t seed = 1234;
+  /// Footprint multiplier override (0 = workload-size default).
+  double scale = 0.0;
+
+  std::string label() const;
+};
+
+core::SimulationConfig to_config(const RunSpec& spec);
+
+/// Build the workload and run the full simulation for one spec.
+core::SimulationResult run_spec(const RunSpec& spec);
+
+/// baseline runtime / run runtime — "relative performance" in the paper's
+/// figures (1.0 == as fast as the unconstrained baseline).
+double relative_performance(const core::SimulationResult& baseline,
+                            const core::SimulationResult& run);
+
+/// True when the CMCP_BENCH_FAST environment variable is set: benches shrink
+/// their sweeps for quick smoke runs.
+bool fast_mode();
+
+/// Core-count sweep used by Fig. 6/7 and Table 1 (the paper's x-axis).
+std::vector<CoreId> paper_core_counts();
+
+}  // namespace cmcp::metrics

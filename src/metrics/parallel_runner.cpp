@@ -1,0 +1,50 @@
+#include "metrics/parallel_runner.h"
+
+#include <atomic>
+#include <thread>
+
+#include "common/assert.h"
+
+namespace cmcp::metrics {
+
+std::vector<core::SimulationResult> run_jobs_parallel(
+    const std::vector<std::function<core::SimulationResult()>>& jobs,
+    unsigned threads) {
+  std::vector<core::SimulationResult> results(jobs.size());
+  if (jobs.empty()) return results;
+  if (threads == 0) threads = std::max(1u, std::thread::hardware_concurrency());
+  threads = std::min<unsigned>(threads, jobs.size());
+
+  if (threads == 1) {
+    for (std::size_t i = 0; i < jobs.size(); ++i) results[i] = jobs[i]();
+    return results;
+  }
+
+  // Work stealing via a shared atomic cursor: jobs have wildly different
+  // durations (56-core runs dwarf 8-core ones), so static partitioning
+  // would leave workers idle.
+  std::atomic<std::size_t> next{0};
+  const auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= jobs.size()) return;
+      results[i] = jobs[i]();
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker);
+  for (auto& t : pool) t.join();
+  return results;
+}
+
+std::vector<core::SimulationResult> run_specs_parallel(
+    const std::vector<RunSpec>& specs, unsigned threads) {
+  std::vector<std::function<core::SimulationResult()>> jobs;
+  jobs.reserve(specs.size());
+  for (const RunSpec& spec : specs)
+    jobs.emplace_back([spec] { return run_spec(spec); });
+  return run_jobs_parallel(jobs, threads);
+}
+
+}  // namespace cmcp::metrics

@@ -1,0 +1,51 @@
+// The computation area: the virtual range PSPT manages privately per core
+// (paper Fig. 3 — kernel and regular user mappings stay shared; only the
+// computation area gets per-core PTEs and hierarchical placement).
+#pragma once
+
+#include <cstdint>
+
+#include "common/assert.h"
+#include "common/types.h"
+
+namespace cmcp::mm {
+
+class ComputationArea {
+ public:
+  ComputationArea() = default;
+
+  /// [base_vpn, base_vpn + num_base_pages) in 4 kB page units. The base must
+  /// be aligned to the mapping-unit size so 64 kB / 2 MB groups line up.
+  ComputationArea(Vpn base_vpn, std::uint64_t num_base_pages, PageSizeClass size)
+      : base_vpn_(base_vpn), num_base_pages_(num_base_pages), size_(size) {
+    const std::uint64_t per_unit = base_pages_per_unit(size);
+    CMCP_CHECK_MSG(base_vpn % per_unit == 0, "computation area misaligned for page size");
+    // Round the footprint up to whole mapping units.
+    num_units_ = (num_base_pages + per_unit - 1) / per_unit;
+  }
+
+  Vpn base_vpn() const { return base_vpn_; }
+  std::uint64_t num_base_pages() const { return num_base_pages_; }
+  std::uint64_t num_units() const { return num_units_; }
+  PageSizeClass page_size() const { return size_; }
+
+  bool contains(Vpn vpn) const {
+    return vpn >= base_vpn_ && vpn < base_vpn_ + num_base_pages_;
+  }
+
+  /// Mapping unit index (0-based within the area) containing `vpn`.
+  UnitIdx unit_of(Vpn vpn) const {
+    CMCP_CHECK(contains(vpn));
+    return (vpn - base_vpn_) >> unit_shift(size_);
+  }
+
+  std::uint64_t footprint_bytes() const { return num_base_pages_ * kBasePageBytes; }
+
+ private:
+  Vpn base_vpn_ = 0;
+  std::uint64_t num_base_pages_ = 0;
+  std::uint64_t num_units_ = 0;
+  PageSizeClass size_ = PageSizeClass::k4K;
+};
+
+}  // namespace cmcp::mm

@@ -1,0 +1,35 @@
+#include "mm/frame_allocator.h"
+
+#include "common/assert.h"
+
+namespace cmcp::mm {
+
+FrameAllocator::FrameAllocator(std::uint64_t capacity, PageSizeClass size)
+    : capacity_(capacity), frames_per_unit_(base_pages_per_unit(size)) {
+  CMCP_CHECK(capacity > 0);
+  free_.reserve(capacity);
+  // LIFO free list; hand out ascending frame numbers first.
+  for (std::uint64_t i = capacity; i-- > 0;) free_.push_back(i * frames_per_unit_);
+  allocated_.assign(capacity, false);
+}
+
+Pfn FrameAllocator::allocate() {
+  if (free_.empty()) return kInvalidPfn;
+  const Pfn pfn = free_.back();
+  free_.pop_back();
+  const auto slot = pfn / frames_per_unit_;
+  CMCP_CHECK(!allocated_[slot]);
+  allocated_[slot] = true;
+  return pfn;
+}
+
+void FrameAllocator::free(Pfn pfn) {
+  CMCP_CHECK(pfn % frames_per_unit_ == 0);
+  const auto slot = pfn / frames_per_unit_;
+  CMCP_CHECK(slot < capacity_);
+  CMCP_CHECK_MSG(allocated_[slot], "double free of device frame");
+  allocated_[slot] = false;
+  free_.push_back(pfn);
+}
+
+}  // namespace cmcp::mm

@@ -1,0 +1,41 @@
+// Device-RAM frame allocator for the computation area.
+//
+// The memory constraint of the experiments is expressed here: the allocator
+// is created with `capacity` frames of one mapping unit each — e.g. 37% of
+// cg.B's footprint — and the host side is treated as an infinite backing
+// store reached over PCIe.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace cmcp::mm {
+
+class FrameAllocator {
+ public:
+  /// `capacity` frames; for 64 kB units frame numbers are multiples of 16 so
+  /// the Phi alignment rule (paper section 4) holds by construction.
+  FrameAllocator(std::uint64_t capacity, PageSizeClass size);
+
+  /// Returns kInvalidPfn when the device memory is exhausted (the caller
+  /// must evict first).
+  Pfn allocate();
+
+  void free(Pfn pfn);
+
+  std::uint64_t capacity() const { return capacity_; }
+  std::uint64_t in_use() const { return capacity_ - free_.size(); }
+  bool full() const { return free_.empty(); }
+
+ private:
+  std::uint64_t capacity_;
+  std::uint64_t frames_per_unit_;
+  std::vector<Pfn> free_;
+  /// Double-free / double-allocate detection (always on: the check is one
+  /// bit test per event and eviction bugs corrupt every statistic).
+  std::vector<bool> allocated_;
+};
+
+}  // namespace cmcp::mm

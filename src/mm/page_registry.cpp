@@ -1,0 +1,44 @@
+#include "mm/page_registry.h"
+
+#include "common/assert.h"
+
+namespace cmcp::mm {
+
+ResidentPage& PageRegistry::insert(UnitIdx unit, Pfn pfn, Cycles now) {
+  ResidentPage* page;
+  if (!free_.empty()) {
+    page = free_.back();
+    free_.pop_back();
+  } else {
+    pool_.push_back(std::make_unique<ResidentPage>());
+    page = pool_.back().get();
+  }
+  *page = ResidentPage{};  // reset all metadata and policy state
+  page->unit = unit;
+  page->pfn = pfn;
+  page->seq = next_seq_++;
+  page->inserted_at = now;
+  auto [it, inserted] = map_.emplace(unit, page);
+  CMCP_CHECK_MSG(inserted, "unit already resident");
+  return *page;
+}
+
+void PageRegistry::erase(ResidentPage& page) {
+  CMCP_CHECK_MSG(!page.main_node.linked() && !page.aux_node.linked(),
+                 "evicting a page still on a policy list");
+  const auto erased = map_.erase(page.unit);
+  CMCP_CHECK(erased == 1);
+  free_.push_back(&page);
+}
+
+ResidentPage* PageRegistry::find(UnitIdx unit) {
+  auto it = map_.find(unit);
+  return it == map_.end() ? nullptr : it->second;
+}
+
+const ResidentPage* PageRegistry::find(UnitIdx unit) const {
+  auto it = map_.find(unit);
+  return it == map_.end() ? nullptr : it->second;
+}
+
+}  // namespace cmcp::mm

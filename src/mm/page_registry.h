@@ -1,0 +1,72 @@
+// Registry of device-resident pages plus the per-page metadata replacement
+// policies hang their bookkeeping on.
+//
+// ResidentPage objects are pool-allocated and pointer-stable for their
+// residency lifetime, so policies can keep them on intrusive lists without
+// extra allocation on the fault path.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/intrusive_list.h"
+#include "common/types.h"
+
+namespace cmcp::mm {
+
+struct ResidentPage {
+  UnitIdx unit = kInvalidUnit;
+  Pfn pfn = kInvalidPfn;
+  /// Cached number of mapping cores, maintained by the memory manager as
+  /// PSPT minor faults add mappings. Regular tables keep it at the core
+  /// count (the information is unobtainable there).
+  unsigned core_map_count = 0;
+  /// Monotonic insertion sequence number (FIFO arbitration, test oracles).
+  std::uint64_t seq = 0;
+  Cycles inserted_at = 0;
+  /// For prefetched pages: when the PCIe transfer lands. A touch before
+  /// this time stalls until the data arrives. 0 for demand-fetched pages.
+  Cycles ready_at = 0;
+
+  // --- policy-owned state -------------------------------------------------
+  ListNode main_node;  ///< FIFO list / LRU active+inactive / CMCP bucket
+  ListNode aux_node;   ///< CMCP aging list; unused by other policies
+  std::uint8_t where = 0;       ///< policy-defined location tag
+  std::uint32_t bucket = 0;     ///< CMCP priority bucket / LFU frequency
+  std::uint64_t age_stamp = 0;  ///< CMCP aging timestamp
+  std::uint32_t slot = 0;       ///< RANDOM policy index
+  bool referenced = false;      ///< scanner-fed reference info
+};
+
+class PageRegistry {
+ public:
+  PageRegistry() = default;
+
+  /// Create metadata for a unit becoming resident in frame pfn.
+  ResidentPage& insert(UnitIdx unit, Pfn pfn, Cycles now);
+
+  /// Remove metadata on eviction. The page must already be unlinked from
+  /// every policy list.
+  void erase(ResidentPage& page);
+
+  ResidentPage* find(UnitIdx unit);
+  const ResidentPage* find(UnitIdx unit) const;
+
+  std::size_t size() const { return map_.size(); }
+
+  /// Iterate all resident pages (scanner); fn must not insert/erase.
+  template <typename Fn>
+  void for_each(Fn&& fn) {
+    for (auto& [unit, page] : map_) fn(*page);
+  }
+
+ private:
+  std::unordered_map<UnitIdx, ResidentPage*> map_;
+  std::vector<std::unique_ptr<ResidentPage>> pool_;
+  std::vector<ResidentPage*> free_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace cmcp::mm

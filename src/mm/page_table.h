@@ -1,0 +1,72 @@
+// Page table abstraction over the computation area.
+//
+// Two concrete organizations (paper section 2.3):
+//  * RegularPageTable — one shared set of translations. The kernel cannot
+//    tell which cores cached a translation, so an unmap must shoot down
+//    every core, and the core-map count is unobtainable.
+//  * Pspt — per-core private PTEs for the computation area. Unmaps target
+//    exactly the mapping cores, and the number of mapping cores per unit is
+//    available as auxiliary knowledge — the input to CMCP.
+//
+// Translations are tracked per mapping unit (4 kB / 64 kB / 2 MB); accessed
+// and dirty bits carry the semantics the access-bit scanner depends on.
+#pragma once
+
+#include "common/core_mask.h"
+#include "common/types.h"
+
+namespace cmcp::mm {
+
+class PageTable {
+ public:
+  virtual ~PageTable() = default;
+
+  virtual PageTableKind kind() const = 0;
+
+  /// Is `unit` translated from `core`'s point of view (its walk would hit)?
+  virtual bool has_mapping(CoreId core, UnitIdx unit) const = 0;
+
+  /// Is `unit` mapped by at least one core (i.e. resident and reachable)?
+  virtual bool any_mapping(UnitIdx unit) const = 0;
+
+  /// Install a translation for `core`. For regular tables the entry becomes
+  /// visible to every core at once. pfn is the device frame.
+  virtual void map(CoreId core, UnitIdx unit, Pfn pfn) = 0;
+
+  /// Remove the translation on every core; returns the set of cores whose
+  /// TLBs may cache it and therefore must be shot down.
+  virtual CoreMask unmap_all(UnitIdx unit) = 0;
+
+  /// Cores whose TLB may hold `unit` (regular: every core; PSPT: the
+  /// mapping set).
+  virtual CoreMask mapping_cores(UnitIdx unit) const = 0;
+
+  /// Number of cores mapping `unit`. Only PSPT can answer precisely; the
+  /// regular table pessimistically reports the full core count (paper: the
+  /// information "cannot be obtained from regular page tables").
+  virtual unsigned core_map_count(UnitIdx unit) const = 0;
+
+  virtual Pfn pfn_of(UnitIdx unit) const = 0;
+
+  // --- hardware-set attribute bits ---------------------------------------
+  virtual void mark_accessed(CoreId core, UnitIdx unit) = 0;
+  virtual void mark_dirty(CoreId core, UnitIdx unit) = 0;
+
+  /// True if any PTE (any core, any sub-entry) has the accessed bit set.
+  /// `pte_reads` (optional) receives the number of PTE words the OS had to
+  /// inspect — 16x more for 64 kB groups, one per mapping core under PSPT.
+  virtual bool test_accessed(UnitIdx unit, unsigned* pte_reads) const = 0;
+
+  /// Clear the accessed bit(s). Returns whether any was set. Clearing makes
+  /// the cached TLB copies stale, so the caller MUST follow with a shootdown
+  /// of mapping_cores() — the invariant the paper's whole argument rests on.
+  virtual bool clear_accessed(UnitIdx unit) = 0;
+
+  virtual bool test_dirty(UnitIdx unit) const = 0;
+  virtual void clear_dirty(UnitIdx unit) = 0;
+
+  /// Resident units currently mapped (for scanner iteration).
+  virtual std::uint64_t mapped_units() const = 0;
+};
+
+}  // namespace cmcp::mm

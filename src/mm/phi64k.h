@@ -1,0 +1,90 @@
+// Faithful model of the Xeon Phi experimental 64 kB page table entry format
+// (paper section 4, Fig. 5).
+//
+// A 64 kB mapping is 16 consecutive 4 kB PTEs covering a contiguous,
+// 64 kB-aligned region, with a hint bit telling the TLB to cache the whole
+// group as one entry. Hardware-set attributes behave unusually: on the first
+// write, the CPU sets the dirty bit of the *k+1-th* sub-entry rather than the
+// first one, and the accessed bit works the same way — so the OS must iterate
+// all 16 sub-entries when retrieving statistics. A consequence the paper
+// highlights: page sizes may be freely mixed inside one 2 MB block.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/assert.h"
+#include "common/types.h"
+
+namespace cmcp::mm {
+
+struct SubPte {
+  Pfn pfn = kInvalidPfn;
+  bool present = false;
+  bool hint64k = false;  ///< the "64" flag in Fig. 5
+  bool accessed = false;
+  bool dirty = false;
+};
+
+class Phi64kGroup {
+ public:
+  static constexpr unsigned kSubEntries = 16;
+
+  /// Install a 64 kB mapping: base_pfn must be 64 kB aligned (16 frames).
+  /// All 16 sub-entries are initialized and the hint bit set on each.
+  void map(Pfn base_pfn) {
+    CMCP_CHECK_MSG(base_pfn % kSubEntries == 0, "64kB frame misaligned");
+    for (unsigned i = 0; i < kSubEntries; ++i) {
+      sub_[i] = SubPte{.pfn = base_pfn + i, .present = true, .hint64k = true};
+    }
+  }
+
+  void unmap() { sub_ = {}; }
+
+  bool present() const { return sub_[0].present; }
+  Pfn base_pfn() const { return sub_[0].pfn; }
+
+  /// Hardware behaviour on the k-th reference of the group: the accessed bit
+  /// lands in sub-entry (k+1) mod 16 (paper: "sets the dirty bit of the
+  /// corresponding 4kB entry instead of setting it in the first mapping").
+  void hw_mark_accessed(unsigned k) {
+    CMCP_CHECK(present());
+    sub_[(k + 1) % kSubEntries].accessed = true;
+  }
+
+  void hw_mark_dirty(unsigned k) {
+    CMCP_CHECK(present());
+    sub_[(k + 1) % kSubEntries].dirty = true;
+  }
+
+  /// OS-side statistics retrieval must iterate every sub-entry; the return
+  /// value carries how many PTE reads that cost (for the scanner's budget).
+  bool any_accessed(unsigned* pte_reads) const {
+    if (pte_reads != nullptr) *pte_reads = kSubEntries;
+    for (const auto& s : sub_)
+      if (s.accessed) return true;
+    return false;
+  }
+
+  bool any_dirty(unsigned* pte_reads) const {
+    if (pte_reads != nullptr) *pte_reads = kSubEntries;
+    for (const auto& s : sub_)
+      if (s.dirty) return true;
+    return false;
+  }
+
+  void clear_accessed() {
+    for (auto& s : sub_) s.accessed = false;
+  }
+
+  void clear_dirty() {
+    for (auto& s : sub_) s.dirty = false;
+  }
+
+  const SubPte& sub(unsigned i) const { return sub_[i]; }
+
+ private:
+  std::array<SubPte, kSubEntries> sub_{};
+};
+
+}  // namespace cmcp::mm

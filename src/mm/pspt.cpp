@@ -1,0 +1,122 @@
+#include "mm/pspt.h"
+
+#include "common/assert.h"
+
+namespace cmcp::mm {
+
+Pspt::Pspt(CoreId num_cores) : num_cores_(num_cores), tables_(num_cores) {}
+
+bool Pspt::has_mapping(CoreId core, UnitIdx unit) const {
+  CMCP_CHECK(core < num_cores_);
+  return tables_[core].contains(unit);
+}
+
+bool Pspt::any_mapping(UnitIdx unit) const { return directory_.contains(unit); }
+
+void Pspt::map(CoreId core, UnitIdx unit, Pfn pfn) {
+  CMCP_CHECK(core < num_cores_);
+  auto [pte_it, pte_inserted] = tables_[core].try_emplace(unit, Pte{.pfn = pfn});
+  CMCP_CHECK_MSG(pte_inserted, "core already maps this unit");
+  auto [dir_it, dir_inserted] =
+      directory_.try_emplace(unit, UnitInfo{.pfn = pfn, .mapping = {}, .count = 0});
+  UnitInfo& info = dir_it->second;
+  // Private PTEs for the same virtual address must define the same
+  // translation on every core (paper section 2.3).
+  CMCP_CHECK_MSG(info.pfn == pfn, "PSPT coherence violation: divergent pfn");
+  CMCP_CHECK(!info.mapping.test(core));
+  info.mapping.set(core);
+  ++info.count;
+}
+
+CoreMask Pspt::unmap_all(UnitIdx unit) {
+  auto it = directory_.find(unit);
+  CMCP_CHECK_MSG(it != directory_.end(), "unmap of an unmapped unit");
+  const CoreMask affected = it->second.mapping;
+  affected.for_each([&](CoreId core) {
+    const auto erased = tables_[core].erase(unit);
+    CMCP_CHECK(erased == 1);
+  });
+  directory_.erase(it);
+  return affected;
+}
+
+CoreMask Pspt::mapping_cores(UnitIdx unit) const {
+  auto it = directory_.find(unit);
+  return it == directory_.end() ? CoreMask{} : it->second.mapping;
+}
+
+unsigned Pspt::core_map_count(UnitIdx unit) const {
+  auto it = directory_.find(unit);
+  return it == directory_.end() ? 0 : it->second.count;
+}
+
+Pfn Pspt::pfn_of(UnitIdx unit) const {
+  auto it = directory_.find(unit);
+  return it == directory_.end() ? kInvalidPfn : it->second.pfn;
+}
+
+void Pspt::mark_accessed(CoreId core, UnitIdx unit) {
+  auto it = tables_[core].find(unit);
+  CMCP_CHECK(it != tables_[core].end());
+  it->second.accessed = true;
+}
+
+void Pspt::mark_dirty(CoreId core, UnitIdx unit) {
+  auto it = tables_[core].find(unit);
+  CMCP_CHECK(it != tables_[core].end());
+  it->second.dirty = true;
+}
+
+bool Pspt::test_accessed(UnitIdx unit, unsigned* pte_reads) const {
+  auto it = directory_.find(unit);
+  if (it == directory_.end()) {
+    if (pte_reads != nullptr) *pte_reads = 0;
+    return false;
+  }
+  // The scanner must consult every mapping core's private PTE.
+  unsigned reads = 0;
+  bool accessed = false;
+  it->second.mapping.for_each([&](CoreId core) {
+    ++reads;
+    auto pte = tables_[core].find(unit);
+    CMCP_CHECK(pte != tables_[core].end());
+    if (pte->second.accessed) accessed = true;
+  });
+  if (pte_reads != nullptr) *pte_reads = reads;
+  return accessed;
+}
+
+bool Pspt::clear_accessed(UnitIdx unit) {
+  auto it = directory_.find(unit);
+  if (it == directory_.end()) return false;
+  bool was = false;
+  it->second.mapping.for_each([&](CoreId core) {
+    auto pte = tables_[core].find(unit);
+    CMCP_CHECK(pte != tables_[core].end());
+    was = was || pte->second.accessed;
+    pte->second.accessed = false;
+  });
+  return was;
+}
+
+bool Pspt::test_dirty(UnitIdx unit) const {
+  auto it = directory_.find(unit);
+  if (it == directory_.end()) return false;
+  bool dirty = false;
+  it->second.mapping.for_each([&](CoreId core) {
+    auto pte = tables_[core].find(unit);
+    if (pte != tables_[core].end() && pte->second.dirty) dirty = true;
+  });
+  return dirty;
+}
+
+void Pspt::clear_dirty(UnitIdx unit) {
+  auto it = directory_.find(unit);
+  if (it == directory_.end()) return;
+  it->second.mapping.for_each([&](CoreId core) {
+    auto pte = tables_[core].find(unit);
+    if (pte != tables_[core].end()) pte->second.dirty = false;
+  });
+}
+
+}  // namespace cmcp::mm

@@ -1,0 +1,62 @@
+// Per-core Partially Separated Page Tables (paper section 2.3, CCGrid'13).
+//
+// Each core owns a private set of PTEs for the computation area; a core maps
+// a unit only when it actually touches it. A per-unit directory records the
+// mapping-core mask, giving O(1) answers to the two questions regular tables
+// cannot answer: "whose TLB can hold this translation?" (shootdown targeting)
+// and "how many cores map this page?" (CMCP's priority signal).
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "mm/page_table.h"
+
+namespace cmcp::mm {
+
+class Pspt final : public PageTable {
+ public:
+  explicit Pspt(CoreId num_cores);
+
+  PageTableKind kind() const override { return PageTableKind::kPspt; }
+
+  bool has_mapping(CoreId core, UnitIdx unit) const override;
+  bool any_mapping(UnitIdx unit) const override;
+  void map(CoreId core, UnitIdx unit, Pfn pfn) override;
+  CoreMask unmap_all(UnitIdx unit) override;
+  CoreMask mapping_cores(UnitIdx unit) const override;
+  unsigned core_map_count(UnitIdx unit) const override;
+  Pfn pfn_of(UnitIdx unit) const override;
+
+  void mark_accessed(CoreId core, UnitIdx unit) override;
+  void mark_dirty(CoreId core, UnitIdx unit) override;
+  bool test_accessed(UnitIdx unit, unsigned* pte_reads) const override;
+  bool clear_accessed(UnitIdx unit) override;
+  bool test_dirty(UnitIdx unit) const override;
+  void clear_dirty(UnitIdx unit) override;
+  std::uint64_t mapped_units() const override { return directory_.size(); }
+
+  /// Per-core view, for tests and the Fig. 6 analysis.
+  std::uint64_t mapped_units_of_core(CoreId core) const {
+    return tables_[core].size();
+  }
+
+ private:
+  struct Pte {
+    Pfn pfn = kInvalidPfn;
+    bool accessed = false;
+    bool dirty = false;
+  };
+
+  struct UnitInfo {
+    Pfn pfn = kInvalidPfn;
+    CoreMask mapping;
+    unsigned count = 0;
+  };
+
+  CoreId num_cores_;
+  std::vector<std::unordered_map<UnitIdx, Pte>> tables_;  ///< per-core PTEs
+  std::unordered_map<UnitIdx, UnitInfo> directory_;
+};
+
+}  // namespace cmcp::mm

@@ -1,0 +1,78 @@
+#include "mm/regular_page_table.h"
+
+#include "common/assert.h"
+
+namespace cmcp::mm {
+
+RegularPageTable::RegularPageTable(CoreId num_cores)
+    : num_cores_(num_cores), all_cores_(CoreMask::first_n(num_cores)) {}
+
+bool RegularPageTable::has_mapping(CoreId /*core*/, UnitIdx unit) const {
+  return entries_.contains(unit);
+}
+
+bool RegularPageTable::any_mapping(UnitIdx unit) const { return entries_.contains(unit); }
+
+void RegularPageTable::map(CoreId /*core*/, UnitIdx unit, Pfn pfn) {
+  auto [it, inserted] = entries_.try_emplace(unit, Entry{.pfn = pfn});
+  CMCP_CHECK_MSG(inserted || it->second.pfn == pfn, "remap to a different frame");
+}
+
+CoreMask RegularPageTable::unmap_all(UnitIdx unit) {
+  const auto erased = entries_.erase(unit);
+  CMCP_CHECK_MSG(erased == 1, "unmap of an unmapped unit");
+  // Centralized book-keeping: any core may have cached this translation.
+  return all_cores_;
+}
+
+CoreMask RegularPageTable::mapping_cores(UnitIdx unit) const {
+  return entries_.contains(unit) ? all_cores_ : CoreMask{};
+}
+
+unsigned RegularPageTable::core_map_count(UnitIdx unit) const {
+  // The precise count is unobtainable; report the pessimistic bound.
+  return entries_.contains(unit) ? num_cores_ : 0;
+}
+
+Pfn RegularPageTable::pfn_of(UnitIdx unit) const {
+  auto it = entries_.find(unit);
+  return it == entries_.end() ? kInvalidPfn : it->second.pfn;
+}
+
+void RegularPageTable::mark_accessed(CoreId /*core*/, UnitIdx unit) {
+  auto it = entries_.find(unit);
+  CMCP_CHECK(it != entries_.end());
+  it->second.accessed = true;
+}
+
+void RegularPageTable::mark_dirty(CoreId /*core*/, UnitIdx unit) {
+  auto it = entries_.find(unit);
+  CMCP_CHECK(it != entries_.end());
+  it->second.dirty = true;
+}
+
+bool RegularPageTable::test_accessed(UnitIdx unit, unsigned* pte_reads) const {
+  if (pte_reads != nullptr) *pte_reads = 1;
+  auto it = entries_.find(unit);
+  return it != entries_.end() && it->second.accessed;
+}
+
+bool RegularPageTable::clear_accessed(UnitIdx unit) {
+  auto it = entries_.find(unit);
+  if (it == entries_.end()) return false;
+  const bool was = it->second.accessed;
+  it->second.accessed = false;
+  return was;
+}
+
+bool RegularPageTable::test_dirty(UnitIdx unit) const {
+  auto it = entries_.find(unit);
+  return it != entries_.end() && it->second.dirty;
+}
+
+void RegularPageTable::clear_dirty(UnitIdx unit) {
+  auto it = entries_.find(unit);
+  if (it != entries_.end()) it->second.dirty = false;
+}
+
+}  // namespace cmcp::mm

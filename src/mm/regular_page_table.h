@@ -1,0 +1,44 @@
+// Traditional process model: one set of page tables shared by all cores.
+#pragma once
+
+#include <unordered_map>
+
+#include "mm/page_table.h"
+
+namespace cmcp::mm {
+
+class RegularPageTable final : public PageTable {
+ public:
+  explicit RegularPageTable(CoreId num_cores);
+
+  PageTableKind kind() const override { return PageTableKind::kRegular; }
+
+  bool has_mapping(CoreId core, UnitIdx unit) const override;
+  bool any_mapping(UnitIdx unit) const override;
+  void map(CoreId core, UnitIdx unit, Pfn pfn) override;
+  CoreMask unmap_all(UnitIdx unit) override;
+  CoreMask mapping_cores(UnitIdx unit) const override;
+  unsigned core_map_count(UnitIdx unit) const override;
+  Pfn pfn_of(UnitIdx unit) const override;
+
+  void mark_accessed(CoreId core, UnitIdx unit) override;
+  void mark_dirty(CoreId core, UnitIdx unit) override;
+  bool test_accessed(UnitIdx unit, unsigned* pte_reads) const override;
+  bool clear_accessed(UnitIdx unit) override;
+  bool test_dirty(UnitIdx unit) const override;
+  void clear_dirty(UnitIdx unit) override;
+  std::uint64_t mapped_units() const override { return entries_.size(); }
+
+ private:
+  struct Entry {
+    Pfn pfn = kInvalidPfn;
+    bool accessed = false;
+    bool dirty = false;
+  };
+
+  CoreId num_cores_;
+  CoreMask all_cores_;
+  std::unordered_map<UnitIdx, Entry> entries_;
+};
+
+}  // namespace cmcp::mm

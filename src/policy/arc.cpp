@@ -1,0 +1,105 @@
+#include "policy/arc.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+
+namespace cmcp::policy {
+
+void ArcPolicy::GhostList::push(UnitIdx unit, std::size_t cap) {
+  if (cap == 0) return;
+  remove(unit);  // re-push refreshes the position
+  order_.push_back(unit);
+  pos_.emplace(unit, std::prev(order_.end()));
+  while (pos_.size() > cap) {
+    pos_.erase(order_.front());
+    order_.pop_front();
+  }
+}
+
+void ArcPolicy::GhostList::remove(UnitIdx unit) {
+  auto it = pos_.find(unit);
+  if (it == pos_.end()) return;
+  order_.erase(it->second);
+  pos_.erase(it);
+}
+
+ArcPolicy::ArcPolicy(PolicyHost& host) : host_(host) {}
+
+void ArcPolicy::on_insert(mm::ResidentPage& page) {
+  const UnitIdx unit = page.unit;
+  const double c = static_cast<double>(host_.capacity_units());
+
+  if (b1_.contains(unit)) {
+    // Ghost hit in B1: recency list was too small — grow the target.
+    ++ghost_hits_b1_;
+    const double delta =
+        std::max(1.0, static_cast<double>(b2_.size()) /
+                          std::max<std::size_t>(b1_.size(), 1));
+    target_ = std::min(target_ + delta, c);
+    b1_.remove(unit);
+    page.where = kT2;  // refault == second reference
+    t2_.push_back(page);
+    return;
+  }
+  if (b2_.contains(unit)) {
+    // Ghost hit in B2: frequency list was too small — shrink the target.
+    ++ghost_hits_b2_;
+    const double delta =
+        std::max(1.0, static_cast<double>(b1_.size()) /
+                          std::max<std::size_t>(b2_.size(), 1));
+    target_ = std::max(target_ - delta, 0.0);
+    b2_.remove(unit);
+    page.where = kT2;
+    t2_.push_back(page);
+    return;
+  }
+  // Cold page: recency list.
+  page.where = kT1;
+  t1_.push_back(page);
+}
+
+void ArcPolicy::on_core_map_grow(mm::ResidentPage& page) {
+  // The fault-visible "hit" signal: another core started using the page.
+  if (page.where == kT1) {
+    t1_.erase(page);
+    page.where = kT2;
+    t2_.push_back(page);
+    ++promotions_;
+  } else {
+    t2_.move_to_back(page);
+  }
+}
+
+mm::ResidentPage* ArcPolicy::pick_victim(CoreId /*faulting_core*/,
+                                         Cycles& /*extra_cycles*/) {
+  // ARC's REPLACE: evict from T1 when it exceeds the adaptation target,
+  // otherwise from T2.
+  const bool from_t1 =
+      !t1_.empty() &&
+      (static_cast<double>(t1_.size()) > target_ || t2_.empty());
+  mm::ResidentPage* victim = from_t1 ? t1_.front() : t2_.front();
+  if (victim == nullptr) victim = t1_.front();
+  return victim;
+}
+
+void ArcPolicy::on_evict(mm::ResidentPage& page) {
+  const std::size_t c = host_.capacity_units();
+  if (page.where == kT1) {
+    t1_.erase(page);
+    b1_.push(page.unit, c);
+  } else {
+    t2_.erase(page);
+    b2_.push(page.unit, c);
+  }
+}
+
+std::uint64_t ArcPolicy::stat(std::string_view key) const {
+  if (key == "ghost_hits_b1") return ghost_hits_b1_;
+  if (key == "ghost_hits_b2") return ghost_hits_b2_;
+  if (key == "promotions") return promotions_;
+  if (key == "target") return static_cast<std::uint64_t>(target_);
+  return 0;
+}
+
+}  // namespace cmcp::policy

@@ -1,0 +1,72 @@
+// ARC-f: an Adaptive Replacement Cache variant driven purely by
+// fault-visible events — extension baseline.
+//
+// Classic ARC (Megiddo & Modha, FAST'03) balances a recency list T1 and a
+// frequency list T2 using ghost lists B1/B2 of recently evicted pages: a
+// refault that hits a ghost shifts the adaptation target toward the list
+// that would have kept it. On a many-core with expensive access-bit
+// sampling, ARC is interesting for the same reason CMCP is: its signals
+// (faults and refaults) are free. The one adaptation: classic ARC promotes
+// T1->T2 on cache *hits*, which the OS cannot see without scanning; ARC-f
+// promotes on PSPT minor faults instead (a new core mapping the page — the
+// same auxiliary signal CMCP uses).
+#pragma once
+
+#include <list>
+#include <unordered_map>
+
+#include "common/intrusive_list.h"
+#include "policy/replacement_policy.h"
+
+namespace cmcp::policy {
+
+class ArcPolicy final : public ReplacementPolicy {
+ public:
+  explicit ArcPolicy(PolicyHost& host);
+
+  std::string_view name() const override { return "ARC-f"; }
+
+  void on_insert(mm::ResidentPage& page) override;
+  void on_core_map_grow(mm::ResidentPage& page) override;
+  mm::ResidentPage* pick_victim(CoreId faulting_core, Cycles& extra_cycles) override;
+  void on_evict(mm::ResidentPage& page) override;
+
+  std::size_t t1_size() const { return t1_.size(); }
+  std::size_t t2_size() const { return t2_.size(); }
+  std::size_t b1_size() const { return b1_.size(); }
+  std::size_t b2_size() const { return b2_.size(); }
+  double target() const { return target_; }
+  std::uint64_t stat(std::string_view key) const override;
+
+ private:
+  static constexpr std::uint8_t kT1 = 0;
+  static constexpr std::uint8_t kT2 = 1;
+
+  /// Ghost list: bounded FIFO of evicted unit ids with O(1) membership.
+  class GhostList {
+   public:
+    bool contains(UnitIdx unit) const { return pos_.contains(unit); }
+    void push(UnitIdx unit, std::size_t cap);
+    void remove(UnitIdx unit);
+    std::size_t size() const { return pos_.size(); }
+
+   private:
+    std::list<UnitIdx> order_;  // front = oldest
+    std::unordered_map<UnitIdx, std::list<UnitIdx>::iterator> pos_;
+  };
+
+  using PageList = IntrusiveList<mm::ResidentPage, &mm::ResidentPage::main_node>;
+
+  PolicyHost& host_;
+  PageList t1_;  ///< seen once recently (front = LRU)
+  PageList t2_;  ///< seen multiple times (front = LRU)
+  GhostList b1_;
+  GhostList b2_;
+  double target_ = 0.0;  ///< desired size of T1 ("p" in the ARC paper)
+
+  std::uint64_t ghost_hits_b1_ = 0;
+  std::uint64_t ghost_hits_b2_ = 0;
+  std::uint64_t promotions_ = 0;
+};
+
+}  // namespace cmcp::policy

@@ -1,0 +1,61 @@
+// CMCP with runtime adaptation of p — the paper's stated future work
+// (section 5.6: "determining the optimal value dynamically based on runtime
+// performance feedback (such as page fault frequency)").
+//
+// A hill-climbing controller: every adaptation window it compares the
+// eviction rate (== capacity-miss fault rate) against the previous window
+// and keeps moving p in the direction that reduced it, reversing otherwise.
+#pragma once
+
+#include "policy/cmcp.h"
+
+namespace cmcp::policy {
+
+struct DynamicPConfig {
+  CmcpConfig cmcp;               ///< cmcp.p is the starting point
+  double step = 0.1;             ///< p adjustment per window
+  std::uint32_t window_ticks = 4;  ///< ticks (scanner cadence) per window
+  double min_p = 0.0;
+  double max_p = 1.0;
+};
+
+class DynamicPCmcpPolicy final : public ReplacementPolicy {
+ public:
+  DynamicPCmcpPolicy(PolicyHost& host, const DynamicPConfig& config)
+      : inner_(host, config.cmcp), config_(config) {}
+
+  std::string_view name() const override { return "CMCP-dyn"; }
+
+  void on_insert(mm::ResidentPage& page) override { inner_.on_insert(page); }
+  void on_core_map_grow(mm::ResidentPage& page) override {
+    inner_.on_core_map_grow(page);
+  }
+
+  mm::ResidentPage* pick_victim(CoreId faulting_core, Cycles& extra_cycles) override {
+    ++window_evictions_;
+    return inner_.pick_victim(faulting_core, extra_cycles);
+  }
+
+  void on_evict(mm::ResidentPage& page) override { inner_.on_evict(page); }
+
+  void on_tick(Cycles now) override;
+
+  double current_p() const { return inner_.p(); }
+  std::uint64_t stat(std::string_view key) const override {
+    if (key == "adaptations") return adaptations_;
+    if (key == "p_permille") return static_cast<std::uint64_t>(inner_.p() * 1000.0);
+    return inner_.stat(key);
+  }
+
+ private:
+  CmcpPolicy inner_;
+  DynamicPConfig config_;
+  std::uint32_t ticks_in_window_ = 0;
+  std::uint64_t window_evictions_ = 0;
+  std::uint64_t prev_window_evictions_ = 0;
+  double direction_ = +1.0;
+  bool have_baseline_ = false;
+  std::uint64_t adaptations_ = 0;
+};
+
+}  // namespace cmcp::policy

@@ -1,0 +1,3 @@
+#include "policy/fifo.h"
+
+// FifoPolicy is fully inline; this translation unit anchors the header.

@@ -1,0 +1,3 @@
+#include "policy/lfu.h"
+
+// LfuPolicy is fully inline; this translation unit anchors the header.

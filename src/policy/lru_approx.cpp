@@ -1,0 +1,58 @@
+#include "policy/lru_approx.h"
+
+namespace cmcp::policy {
+
+void LruApproxPolicy::on_scan(mm::ResidentPage& page, bool referenced) {
+  if (referenced) {
+    if (page.where == kInactive) {
+      if (!page.referenced) {
+        // First observed reference is the fault that brought the page in;
+        // real working-set membership needs a second one (Linux's
+        // two-touch rule for inactive pages).
+        page.referenced = true;
+      } else {
+        inactive_.erase(page);
+        page.where = kActive;
+        active_.push_back(page);
+        ++promotions_;
+      }
+    } else {
+      // Referenced while active: rotate to the young end.
+      active_.move_to_back(page);
+      page.referenced = true;
+    }
+  } else if (page.where == kActive) {
+    if (page.referenced) {
+      // First quiet window: strip the reference credit but keep the page
+      // active (hysteresis smooths phase-structured workloads).
+      page.referenced = false;
+    } else {
+      // Second quiet window: fell out of the working set.
+      active_.erase(page);
+      page.where = kInactive;
+      inactive_.push_back(page);
+      ++demotions_;
+    }
+  }
+  // Unreferenced inactive pages simply age in place.
+}
+
+mm::ResidentPage* LruApproxPolicy::pick_victim(CoreId /*faulting_core*/,
+                                               Cycles& /*extra_cycles*/) {
+  if (mm::ResidentPage* victim = inactive_.front(); victim != nullptr) return victim;
+  return active_.front();
+}
+
+void LruApproxPolicy::on_evict(mm::ResidentPage& page) {
+  (page.where == kActive ? active_ : inactive_).erase(page);
+}
+
+std::uint64_t LruApproxPolicy::stat(std::string_view key) const {
+  if (key == "promotions") return promotions_;
+  if (key == "demotions") return demotions_;
+  if (key == "active") return active_.size();
+  if (key == "inactive") return inactive_.size();
+  return 0;
+}
+
+}  // namespace cmcp::policy

@@ -1,0 +1,3 @@
+#include "policy/random_policy.h"
+
+// RandomPolicy is fully inline; this translation unit anchors the header.

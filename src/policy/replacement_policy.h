@@ -1,0 +1,90 @@
+// Replacement-policy framework.
+//
+// Policies see residency events (insert / core-map growth / eviction),
+// scanner events (for access-bit based policies), and are asked to pick
+// victims. Anything that needs hardware state — reading or clearing accessed
+// bits, which implies TLB shootdowns — goes through PolicyHost so the full
+// cost (including the remote invalidations the paper measures) is charged to
+// whoever triggered it.
+#pragma once
+
+#include <string_view>
+
+#include "common/types.h"
+#include "mm/page_registry.h"
+
+namespace cmcp::policy {
+
+/// Services the memory manager provides to policies.
+class PolicyHost {
+ public:
+  virtual ~PolicyHost() = default;
+
+  /// Device capacity in mapping units (for CMCP's p ratio).
+  virtual std::uint64_t capacity_units() const = 0;
+
+  virtual unsigned num_cores() const = 0;
+
+  /// Read the accessed bit (any mapping core / any sub-entry) WITHOUT
+  /// clearing it. Cheap: no shootdown.
+  virtual bool unit_accessed(const mm::ResidentPage& page) const = 0;
+
+  /// Current virtual time of a core (for timestamping inline shootdowns).
+  virtual Cycles core_clock(CoreId core) const = 0;
+
+  /// Clear the accessed bit(s) and shoot down the translation on every
+  /// mapping core — the unavoidable price of usage sampling on x86.
+  /// `now` is the initiator's virtual time when the clear happens; a policy
+  /// issuing several clears in one decision MUST advance it by the returned
+  /// cycles between calls (issuing them all at a stale timestamp makes each
+  /// wait for the previous one's slot hold from an ever-older vantage,
+  /// compounding into runaway virtual time). Returns the cycles consumed at
+  /// `initiator` (charged by the caller via pick_victim's extra_cycles).
+  virtual Cycles clear_accessed_and_shootdown(mm::ResidentPage& page,
+                                              CoreId initiator, Cycles now) = 0;
+};
+
+class ReplacementPolicy {
+ public:
+  virtual ~ReplacementPolicy() = default;
+
+  virtual std::string_view name() const = 0;
+
+  /// A unit became resident; core_map_count is already filled in.
+  virtual void on_insert(mm::ResidentPage& page) = 0;
+
+  /// An additional core mapped an already-resident unit (PSPT minor fault).
+  virtual void on_core_map_grow(mm::ResidentPage& page) { (void)page; }
+
+  /// Choose the eviction victim. Must not return nullptr when at least one
+  /// page is resident. `extra_cycles` receives any cost the decision itself
+  /// incurred at `faulting_core` (e.g. CLOCK's second-chance shootdowns);
+  /// policies with O(1) decisions leave it at 0.
+  virtual mm::ResidentPage* pick_victim(CoreId faulting_core,
+                                        Cycles& extra_cycles) = 0;
+
+  /// The chosen victim is being evicted; unlink it from every policy list.
+  virtual void on_evict(mm::ResidentPage& page) = 0;
+
+  /// Scanner feedback: `referenced` is the accessed bit observed (and
+  /// cleared) during the periodic scan. Only called when wants_scanner().
+  virtual void on_scan(mm::ResidentPage& page, bool referenced) {
+    (void)page;
+    (void)referenced;
+  }
+
+  /// Whether the access-bit scanner daemon must run for this policy.
+  virtual bool wants_scanner() const { return false; }
+
+  /// Periodic maintenance at scanner cadence (CMCP aging, dynamic-p
+  /// feedback). Runs even when wants_scanner() is false.
+  virtual void on_tick(Cycles now) { (void)now; }
+
+  /// Policy-specific end-of-run statistic hooks (tests, benches).
+  virtual std::uint64_t stat(std::string_view key) const {
+    (void)key;
+    return 0;
+  }
+};
+
+}  // namespace cmcp::policy

@@ -1,0 +1,7 @@
+#include "sim/cost_model.h"
+
+namespace cmcp::sim {
+
+CostModel CostModel::knc() { return CostModel{}; }
+
+}  // namespace cmcp::sim

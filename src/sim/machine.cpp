@@ -1,0 +1,126 @@
+#include "sim/machine.h"
+
+#include <array>
+
+#include "common/assert.h"
+
+namespace cmcp::sim {
+
+Machine::Machine(const MachineConfig& config)
+    : config_(config), pcie_(config_.cost), interconnect_(config_.cost) {
+  CMCP_CHECK(config_.num_cores > 0);
+  CMCP_CHECK(config_.num_cores < CoreMask::kMaxCores);
+  const std::uint32_t tlb_entries = config_.tlb.entries_for(config_.page_size);
+  const CoreId total = config_.num_cores + 1;  // +1 scanner pseudo-core
+  clocks_.assign(total, 0);
+  counters_.assign(total, metrics::CoreCounters{});
+  tlbs_.reserve(total);
+  for (CoreId i = 0; i < total; ++i) tlbs_.emplace_back(tlb_entries);
+}
+
+Cycles Machine::shootdown(CoreId initiator, Cycles now, const CoreMask& targets,
+                          std::span<const UnitIdx> units) {
+  CMCP_CHECK(!targets.test(initiator));
+  const unsigned num_targets = targets.count();
+  if (num_targets == 0 || units.empty()) return 0;
+
+  if (config_.tlb_coherence == TlbCoherence::kHardwareDirectory)
+    return hw_invalidate(initiator, targets, units);
+
+  const ShootdownTiming t = interconnect_.shootdown(
+      now, num_targets, static_cast<unsigned>(units.size()));
+
+  metrics::CoreCounters& init_ctr = counters_[initiator];
+  ++init_ctr.shootdowns_initiated;
+  init_ctr.cycles_lock_wait += t.lock_wait;
+  init_ctr.cycles_shootdown += t.initiate + t.ack_wait;
+
+  targets.for_each([&](CoreId target) {
+    metrics::CoreCounters& ctr = counters_[target];
+    ++ctr.ipis_received;
+    ctr.remote_invalidations_received += units.size();
+    ctr.cycles_interrupt += t.receiver_cost;
+    advance(target, t.receiver_cost);
+    Tlb& target_tlb = tlbs_[target];
+    for (const UnitIdx unit : units) target_tlb.invalidate(unit);
+  });
+
+  return t.initiator_total();
+}
+
+Cycles Machine::hw_invalidate(CoreId initiator, const CoreMask& targets,
+                              std::span<const UnitIdx> units) {
+  // Directory hardware: the initiator issues one directed invalidation per
+  // (unit, target); receivers lose the entry without being interrupted.
+  metrics::CoreCounters& init_ctr = counters_[initiator];
+  ++init_ctr.shootdowns_initiated;
+  Cycles cycles = 0;
+  for (const UnitIdx unit : units) {
+    cycles += config_.cost.hw_inval_lookup;
+    targets.for_each([&](CoreId target) {
+      cycles += config_.cost.hw_inval_per_target;
+      ++counters_[target].remote_invalidations_received;
+      tlbs_[target].invalidate(unit);
+    });
+  }
+  init_ctr.cycles_shootdown += cycles;
+  return cycles;
+}
+
+Cycles Machine::shootdown_batch(CoreId initiator, Cycles now,
+                                std::span<const BatchItem> items) {
+  if (items.empty()) return 0;
+  CoreMask union_targets;
+  for (const BatchItem& item : items) union_targets = union_targets | item.targets;
+  union_targets.clear(initiator);
+  const unsigned num_targets = union_targets.count();
+  if (num_targets == 0) return 0;
+
+  if (config_.tlb_coherence == TlbCoherence::kHardwareDirectory) {
+    Cycles cycles = 0;
+    for (const BatchItem& item : items) {
+      CoreMask targets = item.targets;
+      targets.clear(initiator);
+      const std::array<UnitIdx, 1> unit = {item.unit};
+      cycles += hw_invalidate(initiator, targets, unit);
+    }
+    return cycles;
+  }
+
+  const ShootdownTiming t = interconnect_.shootdown(
+      now, num_targets, static_cast<unsigned>(items.size()));
+
+  metrics::CoreCounters& init_ctr = counters_[initiator];
+  ++init_ctr.shootdowns_initiated;
+  init_ctr.cycles_lock_wait += t.lock_wait;
+
+  Cycles slowest_receiver = 0;
+  union_targets.for_each([&](CoreId target) {
+    metrics::CoreCounters& ctr = counters_[target];
+    ++ctr.ipis_received;
+    Tlb& target_tlb = tlbs_[target];
+    std::uint64_t mine = 0;
+    for (const BatchItem& item : items) {
+      if (!item.targets.test(target)) continue;
+      ++mine;
+      target_tlb.invalidate(item.unit);
+    }
+    ctr.remote_invalidations_received += mine;
+    const Cycles receiver_cost = config_.cost.ipi_receive + config_.cost.invlpg * mine;
+    ctr.cycles_interrupt += receiver_cost;
+    advance(target, receiver_cost);
+    slowest_receiver = std::max(slowest_receiver, receiver_cost);
+  });
+
+  const Cycles initiator_cost = t.lock_wait + t.initiate + slowest_receiver;
+  init_ctr.cycles_shootdown += t.initiate + slowest_receiver;
+  return initiator_cost;
+}
+
+metrics::CoreCounters Machine::aggregate_app_counters() const {
+  metrics::CoreCounters sum;
+  for (CoreId i = 0; i < config_.num_cores; ++i) sum += counters_[i];
+  return sum;
+}
+
+}  // namespace cmcp::sim

@@ -1,0 +1,101 @@
+// The simulated many-core machine: per-core virtual clocks, per-core TLBs,
+// per-core counters, the shared PCIe link and the IPI interconnect.
+//
+// One extra pseudo-core (id == num_cores) represents the dedicated
+// hyperthread the paper uses for LRU's access-bit scanner: it has a clock and
+// counters but never runs application work, so scanning consumes no
+// application compute time — only its shootdowns disturb the app cores.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/core_mask.h"
+#include "common/types.h"
+#include "metrics/counters.h"
+#include "sim/cost_model.h"
+#include "sim/interconnect.h"
+#include "sim/pcie_link.h"
+#include "sim/tlb.h"
+
+namespace cmcp::sim {
+
+/// How remote TLB entries are invalidated.
+enum class TlbCoherence : std::uint8_t {
+  /// Software IPIs through the serialized invalidation slot — x86 reality
+  /// and the default. Receivers take interrupts; initiators wait for acks.
+  kIpiShootdown = 0,
+  /// Hypothetical TLB directory hardware (DiDi-style): directed
+  /// invalidations at bus cost, no interrupts, no global serialization.
+  /// Used by the hardware-vs-software ablation.
+  kHardwareDirectory = 1,
+};
+
+struct MachineConfig {
+  CoreId num_cores = 56;
+  PageSizeClass page_size = PageSizeClass::k4K;
+  TlbCoherence tlb_coherence = TlbCoherence::kIpiShootdown;
+  TlbConfig tlb;
+  CostModel cost = CostModel::knc();
+};
+
+class Machine {
+ public:
+  explicit Machine(const MachineConfig& config);
+
+  const MachineConfig& config() const { return config_; }
+  const CostModel& cost() const { return config_.cost; }
+  CoreId num_cores() const { return config_.num_cores; }
+
+  /// Pseudo-core used by the access-bit scanner daemon.
+  CoreId scanner_core() const { return config_.num_cores; }
+
+  Cycles clock(CoreId core) const { return clocks_[core]; }
+  void advance(CoreId core, Cycles amount) { clocks_[core] += amount; }
+  void set_clock(CoreId core, Cycles value) { clocks_[core] = value; }
+
+  Tlb& tlb(CoreId core) { return tlbs_[core]; }
+  metrics::CoreCounters& counters(CoreId core) { return counters_[core]; }
+  const metrics::CoreCounters& counters(CoreId core) const { return counters_[core]; }
+
+  PcieLink& pcie() { return pcie_; }
+  Interconnect& interconnect() { return interconnect_; }
+
+  /// Perform a remote TLB shootdown of `units` on all cores in `targets`
+  /// (the initiator must not be in the mask). Invalidates the receivers'
+  /// TLB entries, charges interrupt cost to the receivers, and returns the
+  /// cycles consumed at the initiator, which the caller adds to its clock.
+  /// Also fills the initiator's shootdown/lock-wait counters.
+  Cycles shootdown(CoreId initiator, Cycles now, const CoreMask& targets,
+                   std::span<const UnitIdx> units);
+
+  /// Batched shootdown: one slot acquisition and one IPI round for several
+  /// (unit, mapping-cores) pairs — how the access-bit scanner flushes a run
+  /// of cleared PTEs. Each receiver pays one interrupt plus INVLPG for the
+  /// units it actually maps; remote-invalidation counters grow by that
+  /// per-receiver unit count.
+  struct BatchItem {
+    UnitIdx unit;
+    CoreMask targets;
+  };
+  Cycles shootdown_batch(CoreId initiator, Cycles now,
+                         std::span<const BatchItem> items);
+
+  /// Aggregate counters over application cores (excludes the scanner).
+  metrics::CoreCounters aggregate_app_counters() const;
+
+ private:
+  /// Directed invalidation via the hypothetical TLB directory hardware.
+  Cycles hw_invalidate(CoreId initiator, const CoreMask& targets,
+                       std::span<const UnitIdx> units);
+
+  MachineConfig config_;
+  std::vector<Cycles> clocks_;
+  std::vector<Tlb> tlbs_;
+  std::vector<metrics::CoreCounters> counters_;
+  PcieLink pcie_;
+  Interconnect interconnect_;
+};
+
+}  // namespace cmcp::sim

@@ -1,0 +1,25 @@
+#include "sim/pcie_link.h"
+
+#include <algorithm>
+
+namespace cmcp::sim {
+
+Cycles PcieLink::transfer(PcieDir dir, Cycles ready_at, std::uint64_t bytes,
+                          Cycles* queue_wait) {
+  const int d = static_cast<int>(dir);
+  const Cycles start = std::max(ready_at, busy_until_[d]);
+  if (queue_wait != nullptr) *queue_wait = start - ready_at;
+  const Cycles done = start + cost_->pcie_setup + cost_->pcie_transfer_cycles(bytes);
+  busy_until_[d] = done;
+  bytes_[d] += bytes;
+  ++transfers_[d];
+  return done;
+}
+
+void PcieLink::reset() {
+  busy_until_[0] = busy_until_[1] = 0;
+  bytes_[0] = bytes_[1] = 0;
+  transfers_[0] = transfers_[1] = 0;
+}
+
+}  // namespace cmcp::sim

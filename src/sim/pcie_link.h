@@ -1,0 +1,47 @@
+// Shared host <-> device PCIe link.
+//
+// Modelled as two independent directional channels (PCIe is full duplex),
+// each a busy-until timeline: a transfer occupies its channel for
+// setup + bytes/bandwidth, and concurrent faults queue behind each other.
+// This queueing — not raw latency — is what degrades throughput as the
+// memory constraint tightens (paper Fig. 8 / Fig. 10).
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.h"
+#include "sim/cost_model.h"
+
+namespace cmcp::sim {
+
+enum class PcieDir : std::uint8_t {
+  kHostToDevice = 0,  ///< page fetch
+  kDeviceToHost = 1,  ///< dirty write-back
+};
+
+class PcieLink {
+ public:
+  explicit PcieLink(const CostModel& cost) : cost_(&cost) {}
+
+  /// Schedule a transfer that can start at `ready_at`. Returns its completion
+  /// time; `*queue_wait` receives the cycles spent waiting for the channel.
+  Cycles transfer(PcieDir dir, Cycles ready_at, std::uint64_t bytes,
+                  Cycles* queue_wait);
+
+  std::uint64_t bytes_moved(PcieDir dir) const {
+    return bytes_[static_cast<int>(dir)];
+  }
+  std::uint64_t transfers(PcieDir dir) const {
+    return transfers_[static_cast<int>(dir)];
+  }
+
+  void reset();
+
+ private:
+  const CostModel* cost_;
+  Cycles busy_until_[2] = {0, 0};
+  std::uint64_t bytes_[2] = {0, 0};
+  std::uint64_t transfers_[2] = {0, 0};
+};
+
+}  // namespace cmcp::sim

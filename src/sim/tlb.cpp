@@ -1,0 +1,91 @@
+#include "sim/tlb.h"
+
+#include "common/assert.h"
+
+namespace cmcp::sim {
+
+Tlb::Tlb(std::uint32_t capacity) : capacity_(capacity), slots_(capacity) {
+  CMCP_CHECK(capacity > 0);
+  free_.reserve(capacity);
+  for (std::uint32_t i = capacity; i-- > 0;) free_.push_back(i);
+  map_.reserve(capacity * 2);
+}
+
+void Tlb::unlink(std::uint32_t s) {
+  Slot& slot = slots_[s];
+  if (slot.prev != kNil)
+    slots_[slot.prev].next = slot.next;
+  else
+    mru_ = slot.next;
+  if (slot.next != kNil)
+    slots_[slot.next].prev = slot.prev;
+  else
+    lru_ = slot.prev;
+  slot.prev = slot.next = kNil;
+}
+
+void Tlb::push_mru(std::uint32_t s) {
+  Slot& slot = slots_[s];
+  slot.prev = kNil;
+  slot.next = mru_;
+  if (mru_ != kNil) slots_[mru_].prev = s;
+  mru_ = s;
+  if (lru_ == kNil) lru_ = s;
+}
+
+bool Tlb::lookup(UnitIdx unit) {
+  auto it = map_.find(unit);
+  if (it == map_.end()) return false;
+  const std::uint32_t s = it->second;
+  if (s != mru_) {
+    unlink(s);
+    push_mru(s);
+  }
+  return true;
+}
+
+void Tlb::insert(UnitIdx unit) {
+  if (auto it = map_.find(unit); it != map_.end()) {
+    // Already present (e.g. re-walk after an access-bit refresh); touch it.
+    const std::uint32_t s = it->second;
+    if (s != mru_) {
+      unlink(s);
+      push_mru(s);
+    }
+    return;
+  }
+  std::uint32_t s;
+  if (!free_.empty()) {
+    s = free_.back();
+    free_.pop_back();
+  } else {
+    CMCP_CHECK(lru_ != kNil);
+    s = lru_;
+    map_.erase(slots_[s].unit);
+    unlink(s);
+  }
+  slots_[s].unit = unit;
+  map_.emplace(unit, s);
+  push_mru(s);
+}
+
+bool Tlb::invalidate(UnitIdx unit) {
+  auto it = map_.find(unit);
+  if (it == map_.end()) return false;
+  const std::uint32_t s = it->second;
+  map_.erase(it);
+  unlink(s);
+  slots_[s].unit = kInvalidUnit;
+  free_.push_back(s);
+  return true;
+}
+
+void Tlb::flush() {
+  map_.clear();
+  free_.clear();
+  for (std::uint32_t i = capacity_; i-- > 0;) free_.push_back(i);
+  for (auto& s : slots_) s = Slot{};
+  mru_ = lru_ = kNil;
+}
+
+}  // namespace cmcp::sim

@@ -1,0 +1,3 @@
+#include "workloads/access_stream.h"
+
+// Interface + VectorStream are header-only; this TU anchors the vtables.

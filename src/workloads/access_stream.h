@@ -1,0 +1,102 @@
+// Workload abstraction: each simulated core pulls a stream of operations —
+// page references (optionally strided ranges), pure-compute intervals, and
+// barriers. The replacement policies only ever observe the reference
+// streams, so reproducing the paper's workloads means reproducing the
+// *structure* of their per-core page footprints (Fig. 6), not their FLOPs.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "common/types.h"
+
+namespace cmcp::wl {
+
+enum class OpKind : std::uint8_t {
+  kAccess,   ///< reference `count` consecutive base pages starting at vpn
+  kCompute,  ///< advance the core clock by `cycles`
+  kBarrier,  ///< wait for all cores
+  kSyscall,  ///< offload a system call to the host (IHK model): the core
+             ///< blocks for the IKC round trip + `cycles` of host service
+             ///< + a `count`-byte payload transfer
+  kEnd,      ///< stream exhausted (returned forever afterwards)
+};
+
+struct Op {
+  OpKind kind = OpKind::kEnd;
+  Vpn vpn = 0;               ///< kAccess: first base page
+  std::uint32_t count = 1;   ///< kAccess: number of consecutive base pages
+  std::uint32_t stride = 1;  ///< kAccess: base-page stride between references
+  std::uint16_t repeat = 1;  ///< kAccess: references per touched page
+  bool write = false;        ///< kAccess: read or write
+  Cycles cycles = 0;         ///< kCompute; for kAccess: compute per page
+                             ///< (the engine advances the clock by `cycles`
+                             ///< after each page's references, modelling the
+                             ///< arithmetic done on that page's data)
+
+  static Op access(Vpn vpn, bool write = false, std::uint32_t count = 1,
+                   std::uint16_t repeat = 1, Cycles compute_per_page = 0,
+                   std::uint32_t stride = 1) {
+    return Op{.kind = OpKind::kAccess,
+              .vpn = vpn,
+              .count = count,
+              .stride = stride,
+              .repeat = repeat,
+              .write = write,
+              .cycles = compute_per_page};
+  }
+  static Op compute(Cycles cycles) {
+    return Op{.kind = OpKind::kCompute, .cycles = cycles};
+  }
+  static Op barrier() { return Op{.kind = OpKind::kBarrier}; }
+  static Op syscall(Cycles host_service_cycles, std::uint32_t payload_bytes = 0) {
+    return Op{.kind = OpKind::kSyscall,
+              .count = payload_bytes,
+              .cycles = host_service_cycles};
+  }
+  static Op end() { return Op{.kind = OpKind::kEnd}; }
+};
+
+class AccessStream {
+ public:
+  virtual ~AccessStream() = default;
+
+  /// Next operation for this core. Must return kEnd forever once exhausted.
+  virtual Op next() = 0;
+};
+
+class Workload {
+ public:
+  virtual ~Workload() = default;
+
+  virtual std::string_view name() const = 0;
+
+  /// Cores participating (streams exist for exactly [0, num_cores)).
+  virtual CoreId num_cores() const = 0;
+
+  /// Computation-area footprint in 4 kB base pages (before unit rounding).
+  virtual std::uint64_t footprint_base_pages() const = 0;
+
+  virtual std::unique_ptr<AccessStream> make_stream(CoreId core) const = 0;
+};
+
+/// Replays a fixed per-core schedule. Workload generators precompute their
+/// (compact, op-level) schedules once; streams then replay them per core.
+class VectorStream final : public AccessStream {
+ public:
+  explicit VectorStream(std::shared_ptr<const std::vector<Op>> ops)
+      : ops_(std::move(ops)) {}
+
+  Op next() override {
+    if (pos_ >= ops_->size()) return Op::end();
+    return (*ops_)[pos_++];
+  }
+
+ private:
+  std::shared_ptr<const std::vector<Op>> ops_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace cmcp::wl

@@ -1,0 +1,43 @@
+// NPB BT analogue: block-tridiagonal solves along the x, y and z directions
+// each iteration.
+//
+// The three directional solves decompose the same arrays along three
+// different axes, so with row-major storage a page is owned by a different
+// core in each phase — BT's sharing distribution is the flattest of the
+// four workloads (paper Fig. 6c: pages spread up to ~8 cores, majority
+// still <= 3).
+#pragma once
+
+#include "common/rng.h"
+#include "workloads/schedule_builder.h"
+
+namespace cmcp::wl {
+
+struct BtParams {
+  WorkloadParams base;
+  std::uint64_t u_pages = 9000;    ///< solution (at scale 1)
+  std::uint64_t rhs_pages = 9000;  ///< right-hand side
+  std::uint64_t lhs_pages = 7000;  ///< factored block systems
+  double boundary_jitter = 0.08;
+  double halo_fraction = 0.12;
+  /// Fraction of each block's segments processed by a displaced core in the
+  /// y/z-direction solves (see partition_util.h, ExchangeConfig).
+  double exchange_fraction = 0.30;
+};
+
+class BtWorkload final : public Workload {
+ public:
+  explicit BtWorkload(const BtParams& params);
+
+  std::string_view name() const override { return "bt"; }
+  CoreId num_cores() const override { return params_.base.cores; }
+  std::uint64_t footprint_base_pages() const override { return footprint_; }
+  std::unique_ptr<AccessStream> make_stream(CoreId core) const override;
+
+ private:
+  BtParams params_;
+  std::uint64_t footprint_ = 0;
+  std::vector<std::shared_ptr<const std::vector<Op>>> schedules_;
+};
+
+}  // namespace cmcp::wl

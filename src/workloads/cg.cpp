@@ -1,0 +1,127 @@
+#include "workloads/cg.h"
+
+#include <algorithm>
+
+#include "workloads/partition_util.h"
+
+namespace cmcp::wl {
+
+namespace {
+constexpr std::uint32_t kDefaultIterations = 8;
+constexpr Cycles kDefaultComputePerPage = 20000;  // sparse SpMV: slow on
+                                                  // in-order cores
+
+// Deterministic membership for the sparse touched subset of the matrix.
+// Sparsity is clustered (bands of populated rows, 32 pages = 128 kB), so a
+// touched region occupies whole 64 kB groups — the reason CG keeps
+// favouring 64 kB pages under pressure in Fig. 10c.
+bool page_touched(Vpn page, std::uint64_t seed, double fraction) {
+  std::uint64_t x = (page / 32) * 0x9e3779b97f4a7c15ULL + seed;
+  x ^= x >> 29;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 32;
+  return static_cast<double>(x >> 11) * 0x1.0p-53 < fraction;
+}
+}  // namespace
+
+CgWorkload::CgWorkload(const CgParams& params) : params_(params) {
+  const WorkloadParams& base = params_.base;
+  const CoreId n = base.cores;
+  const std::uint64_t a_pages = detail::scaled(params_.matrix_pages, base.scale);
+  const std::uint64_t x_pages = detail::scaled(params_.x_pages, base.scale);
+  const std::uint64_t y_pages = detail::scaled(params_.y_pages, base.scale);
+  const std::uint64_t red_pages = params_.reduction_pages;
+
+  const Vpn a_base = 0;
+  const Vpn x_base = a_base + a_pages;
+  const Vpn y_base = x_base + x_pages;
+  const Vpn red_base = y_base + y_pages;
+  footprint_ = red_base + red_pages;
+
+  const std::uint32_t iterations =
+      base.iterations != 0 ? base.iterations : kDefaultIterations;
+  const Cycles cpp =
+      base.compute_per_page != 0 ? base.compute_per_page : kDefaultComputePerPage;
+
+  Rng rng(base.seed);
+  ScheduleBuilder sb(n, cpp);
+
+  const std::uint64_t x_block = std::max<std::uint64_t>(x_pages / n, 1);
+  const std::uint64_t x_halo = std::max<std::uint64_t>(
+      static_cast<std::uint64_t>(params_.halo_fraction *
+                                 static_cast<double>(x_block)),
+      1);
+
+  for (std::uint32_t iter = 0; iter < iterations; ++iter) {
+    // Row blocks re-balance slightly every iteration: the pages around each
+    // boundary end up mapped by two cores (Fig. 6a's 2-core population).
+    const auto a_bounds =
+        detail::jittered_bounds(a_pages, n, params_.boundary_jitter, rng);
+    const auto x_bounds =
+        detail::jittered_bounds(x_pages, n, params_.boundary_jitter, rng);
+    const auto y_bounds =
+        detail::jittered_bounds(y_pages, n, params_.boundary_jitter, rng);
+
+    // SpMV q = A p: stream the touched rows of the own block in order,
+    // gathering from the hot x vector (own segment + band halo) as we go.
+    for (CoreId c = 0; c < n; ++c) {
+      // x gather list: own segment plus halo into both neighbours.
+      std::vector<Vpn> x_list;
+      const std::uint64_t xb = x_bounds[c];
+      const std::uint64_t xe = x_bounds[c + 1];
+      for (std::uint64_t p = xb > x_halo ? xb - x_halo : 0;
+           p < std::min(xe + x_halo, x_pages); ++p)
+        x_list.push_back(x_base + p);
+      CMCP_CHECK(!x_list.empty());
+
+      // Touched matrix rows: only the sparse subset of the allocated matrix
+      // pages carries nonzeros an iteration visits (the paper attributes
+      // CG's tolerance of memory constraint to exactly this sparsity).
+      std::vector<Vpn> a_list;
+      for (std::uint64_t p = a_bounds[c]; p < a_bounds[c + 1]; ++p)
+        if (page_touched(p, base.seed, params_.matrix_touched_fraction))
+          a_list.push_back(a_base + p);
+
+      // Interleave: cycle the x gather list roughly twice per SpMV.
+      const std::size_t x_every = std::max<std::size_t>(
+          a_list.size() / (2 * x_list.size() + 1), 1);
+      std::size_t xi = 0;
+      for (std::size_t i = 0; i < a_list.size(); ++i) {
+        sb.touch_page_compute(c, a_list[i], /*write=*/false);
+        if (i % x_every == 0) {
+          sb.touch_page_compute(c, x_list[xi % x_list.size()],
+                                /*write=*/false, /*repeat=*/2);
+          ++xi;
+        }
+      }
+      // Write the own slice of q.
+      sb.touch(c, y_base + y_bounds[c], y_bounds[c + 1] - y_bounds[c],
+               /*write=*/true, /*repeat=*/1);
+    }
+    sb.barrier_all();
+
+    // Dot products: re-read own q slice, reduce into the global pages.
+    for (CoreId c = 0; c < n; ++c) {
+      sb.touch(c, y_base + y_bounds[c], y_bounds[c + 1] - y_bounds[c],
+               /*write=*/false, /*repeat=*/1);
+      sb.touch(c, red_base, red_pages, /*write=*/true, /*repeat=*/1);
+    }
+    sb.barrier_all();
+
+    // axpy updates of p/x: write own segment.
+    for (CoreId c = 0; c < n; ++c) {
+      sb.touch(c, x_base + x_bounds[c], x_bounds[c + 1] - x_bounds[c],
+               /*write=*/true, /*repeat=*/1);
+    }
+    sb.barrier_all();
+  }
+
+  schedules_ = sb.finish();
+}
+
+std::unique_ptr<AccessStream> CgWorkload::make_stream(CoreId core) const {
+  CMCP_CHECK(core < schedules_.size());
+  return std::make_unique<VectorStream>(schedules_[core]);
+}
+
+}  // namespace cmcp::wl

@@ -1,0 +1,54 @@
+// NPB CG analogue: conjugate-gradient iterations over a banded sparse
+// matrix in CSR layout.
+//
+// What matters to the memory manager is the per-core page footprint and its
+// reuse structure, not the arithmetic:
+//  * the matrix region dominates the footprint and is streamed once per
+//    iteration by (mostly) one core — row blocks are re-balanced slightly
+//    between iterations, which is what spreads boundary pages over two
+//    cores and produces CG's measured sharing profile (paper Fig. 6a:
+//    >50% of pages private, the rest almost all 2-core);
+//  * the vector regions are hot: re-read every iteration by their owner and
+//    by band neighbours (halo);
+//  * small reduction pages are touched by every core each iteration.
+#pragma once
+
+#include "common/rng.h"
+#include "workloads/schedule_builder.h"
+
+namespace cmcp::wl {
+
+struct CgParams {
+  WorkloadParams base;
+  /// Region sizes in base pages at scale 1.
+  std::uint64_t matrix_pages = 25700;
+  std::uint64_t x_pages = 2600;
+  std::uint64_t y_pages = 2600;
+  std::uint64_t reduction_pages = 64;
+  /// Fraction of matrix pages an iteration actually visits. The sparse
+  /// representation leaves much of the allocation untouched per pass, which
+  /// is why CG tolerates memory constraint down to ~35-40% (paper Fig. 8).
+  double matrix_touched_fraction = 0.42;
+  /// Fraction of a block by which row-partition boundaries wander between
+  /// iterations (models dynamic re-balancing of rows onto threads).
+  double boundary_jitter = 0.22;
+  /// Fraction of a vector block read from each band neighbour.
+  double halo_fraction = 0.15;
+};
+
+class CgWorkload final : public Workload {
+ public:
+  explicit CgWorkload(const CgParams& params);
+
+  std::string_view name() const override { return "cg"; }
+  CoreId num_cores() const override { return params_.base.cores; }
+  std::uint64_t footprint_base_pages() const override { return footprint_; }
+  std::unique_ptr<AccessStream> make_stream(CoreId core) const override;
+
+ private:
+  CgParams params_;
+  std::uint64_t footprint_ = 0;
+  std::vector<std::shared_ptr<const std::vector<Op>>> schedules_;
+};
+
+}  // namespace cmcp::wl

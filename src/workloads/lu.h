@@ -1,0 +1,43 @@
+// NPB LU analogue: SSOR wavefront sweeps over a 3D grid.
+//
+// Each iteration performs a lower and an upper triangular sweep plane by
+// plane (barrier-separated wavefront steps). The two sweeps decompose the
+// planes along offset boundaries and exchange deeper halos, so pages spread
+// over more cores than CG's (paper Fig. 6b: less regular, majority of pages
+// still mapped by <= 3 cores, tail reaching ~6).
+#pragma once
+
+#include "common/rng.h"
+#include "workloads/schedule_builder.h"
+
+namespace cmcp::wl {
+
+struct LuParams {
+  WorkloadParams base;
+  std::uint64_t u_pages = 12000;     ///< solution array (at scale 1)
+  std::uint64_t rsd_pages = 9000;    ///< residual array
+  std::uint64_t flux_pages = 3000;   ///< flux scratch
+  std::uint32_t planes = 12;         ///< wavefront steps per sweep
+  double boundary_jitter = 0.10;
+  double halo_fraction = 0.12;
+  /// Fraction of each block's segments processed by a displaced core in the
+  /// upper sweep (cross decomposition, see partition_util.h).
+  double exchange_fraction = 0.35;
+};
+
+class LuWorkload final : public Workload {
+ public:
+  explicit LuWorkload(const LuParams& params);
+
+  std::string_view name() const override { return "lu"; }
+  CoreId num_cores() const override { return params_.base.cores; }
+  std::uint64_t footprint_base_pages() const override { return footprint_; }
+  std::unique_ptr<AccessStream> make_stream(CoreId core) const override;
+
+ private:
+  LuParams params_;
+  std::uint64_t footprint_ = 0;
+  std::vector<std::shared_ptr<const std::vector<Op>>> schedules_;
+};
+
+}  // namespace cmcp::wl

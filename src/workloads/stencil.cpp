@@ -1,0 +1,109 @@
+#include "workloads/stencil.h"
+
+#include <algorithm>
+
+#include "workloads/partition_util.h"
+
+namespace cmcp::wl {
+
+namespace {
+constexpr std::uint32_t kDefaultIterations = 6;
+constexpr Cycles kDefaultComputePerPage = 13000;
+
+// Deterministic membership for the touched subset of a field. Clustered in
+// 16-page (64 kB) runs: untouched vertical levels are contiguous, so 64 kB
+// groups are either fully active or fully idle (Fig. 10d's behaviour).
+bool page_touched(Vpn page, std::uint64_t seed, double fraction) {
+  std::uint64_t x = (page / 16) * 0xd1342543de82ef95ULL + seed;
+  x ^= x >> 29;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 32;
+  return static_cast<double>(x >> 11) * 0x1.0p-53 < fraction;
+}
+}  // namespace
+
+StencilWorkload::StencilWorkload(const StencilParams& params) : params_(params) {
+  const WorkloadParams& base = params_.base;
+  const CoreId n = base.cores;
+  const std::uint32_t fields = std::max<std::uint32_t>(params_.fields, 1);
+  const std::uint64_t field_pages = detail::scaled(params_.field_pages, base.scale);
+  const std::uint64_t global_pages = params_.global_pages;
+
+  footprint_ = static_cast<std::uint64_t>(fields) * field_pages + global_pages;
+  const Vpn globals_base = static_cast<Vpn>(fields) * field_pages;
+
+  const std::uint32_t iterations =
+      base.iterations != 0 ? base.iterations : kDefaultIterations;
+  const Cycles cpp =
+      base.compute_per_page != 0 ? base.compute_per_page : kDefaultComputePerPage;
+
+  Rng rng(base.seed);
+  ScheduleBuilder sb(n, cpp);
+
+  for (std::uint32_t step = 0; step < iterations; ++step) {
+    // Dynamics: sweep the touched columns of every field, re-reading the
+    // neighbour halo strips throughout the sweep (depth-2 stencil).
+    for (std::uint32_t f = 0; f < fields; ++f) {
+      const Vpn field_base = static_cast<Vpn>(f) * field_pages;
+      const auto bounds =
+          detail::jittered_bounds(field_pages, n, params_.boundary_jitter, rng);
+      const std::uint64_t halo = std::max<std::uint64_t>(
+          static_cast<std::uint64_t>(params_.halo_fraction *
+                                     static_cast<double>(field_pages) / n),
+          1);
+      for (CoreId c = 0; c < n; ++c) {
+        // Halo page list: tails of both neighbouring strips.
+        std::vector<Vpn> halo_list;
+        const std::uint64_t bb = bounds[c];
+        const std::uint64_t be = bounds[c + 1];
+        for (std::uint64_t h = 0; h < std::min(halo, bb); ++h)
+          halo_list.push_back(field_base + bb - 1 - h);
+        for (std::uint64_t h = 0; h < std::min(halo, field_pages - be); ++h)
+          halo_list.push_back(field_base + be + h);
+
+        // Touched columns of the own strip, in sweep order.
+        std::vector<Vpn> own;
+        for (std::uint64_t p = bb; p < be; ++p)
+          if (page_touched(p + f * field_pages, base.seed,
+                           params_.field_touched_fraction))
+            own.push_back(field_base + p);
+
+        const std::size_t halo_every =
+            halo_list.empty()
+                ? own.size() + 1
+                : std::max<std::size_t>(own.size() / (2 * halo_list.size() + 1),
+                                        1);
+        std::size_t hi = 0;
+        for (std::size_t i = 0; i < own.size(); ++i) {
+          // Gather + update in place: read-modify-write of the column.
+          sb.touch_page_compute(c, own[i], /*write=*/true, /*repeat=*/2);
+          if (i % halo_every == 0 && !halo_list.empty()) {
+            sb.touch_page_compute(c, halo_list[hi % halo_list.size()],
+                                  /*write=*/false, /*repeat=*/2);
+            ++hi;
+          }
+        }
+      }
+      sb.barrier_all();  // halo exchange point
+    }
+    // Diagnostics: global reductions touch the shared pages on every core.
+    for (CoreId c = 0; c < n; ++c)
+      sb.touch(c, globals_base, global_pages, /*write=*/true, /*repeat=*/1);
+    // History output: offloaded write(2) calls through IHK's IKC channel.
+    if (params_.io_bytes_per_step > 0) {
+      for (CoreId c = 0; c < n; ++c)
+        sb.push_op(c, Op::syscall(params_.io_host_service_cycles,
+                                  params_.io_bytes_per_step));
+    }
+    sb.barrier_all();
+  }
+
+  schedules_ = sb.finish();
+}
+
+std::unique_ptr<AccessStream> StencilWorkload::make_stream(CoreId core) const {
+  CMCP_CHECK(core < schedules_.size());
+  return std::make_unique<VectorStream>(schedules_[core]);
+}
+
+}  // namespace cmcp::wl

@@ -1,0 +1,48 @@
+// SCALE analogue: RIKEN's climate/weather stencil code — multiple field
+// arrays over a horizontal grid with depth-2 halo exchange between
+// neighbouring domain strips.
+//
+// Sharing profile (paper Fig. 6d): the strictest of the four — well over
+// half the pages are core-private and essentially all the rest are shared by
+// exactly two neighbouring cores, with a handful of globally shared pages
+// (reductions, boundary conditions).
+#pragma once
+
+#include "common/rng.h"
+#include "workloads/schedule_builder.h"
+
+namespace cmcp::wl {
+
+struct StencilParams {
+  WorkloadParams base;
+  std::uint32_t fields = 8;           ///< prognostic/diagnostic field arrays
+  std::uint64_t field_pages = 3000;   ///< pages per field (at scale 1)
+  std::uint64_t global_pages = 16;    ///< globally shared pages
+  /// Fraction of each field's pages a time step visits (vertical-level
+  /// padding and diagnostic-only levels stay untouched — this is why SCALE
+  /// tolerates constraint down to ~55%, paper Fig. 8).
+  double field_touched_fraction = 0.58;
+  double halo_fraction = 0.16;        ///< depth-2 halo as block fraction
+  double boundary_jitter = 0.02;      ///< static decomposition: tiny drift
+  /// Per-core bytes written to the host filesystem per time step (history
+  /// output). Issued as offloaded system calls (IHK model); 0 disables.
+  std::uint32_t io_bytes_per_step = 0;
+  Cycles io_host_service_cycles = 50000;  ///< host-side write(2) service time
+};
+
+class StencilWorkload final : public Workload {
+ public:
+  explicit StencilWorkload(const StencilParams& params);
+
+  std::string_view name() const override { return "scale"; }
+  CoreId num_cores() const override { return params_.base.cores; }
+  std::uint64_t footprint_base_pages() const override { return footprint_; }
+  std::unique_ptr<AccessStream> make_stream(CoreId core) const override;
+
+ private:
+  StencilParams params_;
+  std::uint64_t footprint_ = 0;
+  std::vector<std::shared_ptr<const std::vector<Op>>> schedules_;
+};
+
+}  // namespace cmcp::wl

@@ -1,0 +1,126 @@
+#include "workloads/trace.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/assert.h"
+
+namespace cmcp::wl {
+
+void write_trace(const Workload& workload, std::ostream& os) {
+  os << "cmcp-trace v1\n";
+  os << "cores " << workload.num_cores() << '\n';
+  os << "pages " << workload.footprint_base_pages() << '\n';
+  for (CoreId c = 0; c < workload.num_cores(); ++c) {
+    os << "core " << c << '\n';
+    auto stream = workload.make_stream(c);
+    for (;;) {
+      const Op op = stream->next();
+      if (op.kind == OpKind::kEnd) break;
+      switch (op.kind) {
+        case OpKind::kAccess:
+          os << "a " << op.vpn << ' ' << op.count << ' ' << op.stride << ' '
+             << op.repeat << ' ' << (op.write ? 'w' : 'r') << ' ' << op.cycles
+             << '\n';
+          break;
+        case OpKind::kCompute:
+          os << "c " << op.cycles << '\n';
+          break;
+        case OpKind::kBarrier:
+          os << "b\n";
+          break;
+        case OpKind::kSyscall:
+          os << "s " << op.cycles << ' ' << op.count << '\n';
+          break;
+        case OpKind::kEnd:
+          break;
+      }
+    }
+  }
+}
+
+void save_trace(const Workload& workload, const std::string& path) {
+  std::ofstream out(path);
+  CMCP_CHECK_MSG(out.good(), "cannot open trace output file");
+  write_trace(workload, out);
+}
+
+std::unique_ptr<TraceWorkload> TraceWorkload::parse(std::istream& is) {
+  auto trace = std::unique_ptr<TraceWorkload>(new TraceWorkload());
+  std::string line;
+
+  CMCP_CHECK_MSG(std::getline(is, line) && line == "cmcp-trace v1",
+                 "not a cmcp trace (missing header)");
+
+  std::vector<std::vector<Op>> schedules;
+  std::vector<Op>* current = nullptr;
+  std::uint64_t cores = 0;
+
+  while (std::getline(is, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ss(line);
+    std::string tag;
+    ss >> tag;
+    if (tag == "cores") {
+      CMCP_CHECK_MSG(ss >> cores && cores > 0, "bad cores line");
+      schedules.resize(cores);
+    } else if (tag == "pages") {
+      CMCP_CHECK_MSG(static_cast<bool>(ss >> trace->pages_), "bad pages line");
+    } else if (tag == "core") {
+      std::uint64_t id = 0;
+      CMCP_CHECK_MSG(ss >> id && id < schedules.size(), "bad core line");
+      current = &schedules[id];
+    } else if (tag == "a") {
+      CMCP_CHECK_MSG(current != nullptr, "op before core line");
+      Op op;
+      op.kind = OpKind::kAccess;
+      unsigned repeat = 1;
+      char rw = 'r';
+      CMCP_CHECK_MSG(static_cast<bool>(ss >> op.vpn >> op.count >> op.stride >>
+                                       repeat >> rw >> op.cycles),
+                     "bad access line");
+      CMCP_CHECK_MSG(op.count > 0 && repeat > 0 && (rw == 'r' || rw == 'w'),
+                     "bad access fields");
+      op.repeat = static_cast<std::uint16_t>(repeat);
+      op.write = rw == 'w';
+      current->push_back(op);
+    } else if (tag == "c") {
+      CMCP_CHECK_MSG(current != nullptr, "op before core line");
+      Cycles cycles = 0;
+      CMCP_CHECK_MSG(static_cast<bool>(ss >> cycles), "bad compute line");
+      current->push_back(Op::compute(cycles));
+    } else if (tag == "b") {
+      CMCP_CHECK_MSG(current != nullptr, "op before core line");
+      current->push_back(Op::barrier());
+    } else if (tag == "s") {
+      CMCP_CHECK_MSG(current != nullptr, "op before core line");
+      Cycles host = 0;
+      std::uint32_t bytes = 0;
+      CMCP_CHECK_MSG(static_cast<bool>(ss >> host >> bytes), "bad syscall line");
+      current->push_back(Op::syscall(host, bytes));
+    } else {
+      CMCP_CHECK_MSG(false, "unknown trace tag");
+    }
+  }
+  CMCP_CHECK_MSG(cores > 0, "trace declares no cores");
+  CMCP_CHECK_MSG(trace->pages_ > 0, "trace declares no pages");
+
+  trace->schedules_.reserve(cores);
+  for (auto& ops : schedules)
+    trace->schedules_.push_back(
+        std::make_shared<const std::vector<Op>>(std::move(ops)));
+  return trace;
+}
+
+std::unique_ptr<TraceWorkload> TraceWorkload::load(const std::string& path) {
+  std::ifstream in(path);
+  CMCP_CHECK_MSG(in.good(), "cannot open trace file");
+  return parse(in);
+}
+
+std::unique_ptr<AccessStream> TraceWorkload::make_stream(CoreId core) const {
+  CMCP_CHECK(core < schedules_.size());
+  return std::make_unique<VectorStream>(schedules_[core]);
+}
+
+}  // namespace cmcp::wl

@@ -1,0 +1,51 @@
+// Trace record / replay.
+//
+// Any workload's per-core op schedules can be serialized to a compact text
+// format and replayed later — so downstream users can drive the simulator
+// with traces captured from their own applications (e.g. via a PIN/DynamoRIO
+// pass reduced to page granularity) instead of the built-in generators.
+//
+// Format (line-oriented, '#' comments):
+//   cmcp-trace v1
+//   cores <N>
+//   pages <footprint-base-pages>
+//   core <id>
+//   a <vpn> <count> <stride> <repeat> <w|r> <compute>   # access
+//   c <cycles>                                          # compute
+//   b                                                   # barrier
+//   s <host-cycles> <payload-bytes>                     # offloaded syscall
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "workloads/access_stream.h"
+
+namespace cmcp::wl {
+
+/// Serialize a workload's full schedule.
+void write_trace(const Workload& workload, std::ostream& os);
+void save_trace(const Workload& workload, const std::string& path);
+
+/// A workload replayed from a trace.
+class TraceWorkload final : public Workload {
+ public:
+  /// Parse from a stream; aborts (CMCP_CHECK) on malformed input.
+  static std::unique_ptr<TraceWorkload> parse(std::istream& is);
+  static std::unique_ptr<TraceWorkload> load(const std::string& path);
+
+  std::string_view name() const override { return "trace"; }
+  CoreId num_cores() const override { return static_cast<CoreId>(schedules_.size()); }
+  std::uint64_t footprint_base_pages() const override { return pages_; }
+  std::unique_ptr<AccessStream> make_stream(CoreId core) const override;
+
+ private:
+  TraceWorkload() = default;
+
+  std::uint64_t pages_ = 0;
+  std::vector<std::shared_ptr<const std::vector<Op>>> schedules_;
+};
+
+}  // namespace cmcp::wl

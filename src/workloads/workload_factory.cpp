@@ -1,0 +1,69 @@
+#include "workloads/workload_factory.h"
+
+#include "common/assert.h"
+#include "workloads/bt.h"
+#include "workloads/cg.h"
+#include "workloads/lu.h"
+#include "workloads/stencil.h"
+
+namespace cmcp::wl {
+
+double paper_memory_fraction(PaperWorkload w) {
+  switch (w) {
+    case PaperWorkload::kBt: return 0.64;
+    case PaperWorkload::kLu: return 0.66;
+    case PaperWorkload::kCg: return 0.37;
+    case PaperWorkload::kScale: return 0.50;
+  }
+  return 0.5;
+}
+
+double paper_best_p(PaperWorkload w) {
+  switch (w) {
+    // The paper does not state BT's optimum; our Fig. 9 sweep peaks at 0.9.
+    case PaperWorkload::kBt: return 0.9;
+    case PaperWorkload::kLu: return 0.7;
+    // Paper section 5.6: CG favours a low ratio. (Our own sweep prefers a
+    // higher one — see the deviation note in EXPERIMENTS.md — but the
+    // paper-faithful value is used for the Fig. 7 reproduction.)
+    case PaperWorkload::kCg: return 0.1;
+    case PaperWorkload::kScale: return 0.7;
+  }
+  return 0.4;
+}
+
+std::unique_ptr<Workload> make_paper_workload(PaperWorkload which,
+                                              const WorkloadParams& base,
+                                              WorkloadSize size) {
+  WorkloadParams params = base;
+  // class C footprints are roughly 4x class B; SCALE big is 1.2 GB vs 512 MB.
+  if (size == WorkloadSize::kBig && params.scale == 1.0)
+    params.scale = which == PaperWorkload::kScale ? 2.4 : 4.0;
+
+  switch (which) {
+    case PaperWorkload::kCg: {
+      CgParams p;
+      p.base = params;
+      return std::make_unique<CgWorkload>(p);
+    }
+    case PaperWorkload::kLu: {
+      LuParams p;
+      p.base = params;
+      return std::make_unique<LuWorkload>(p);
+    }
+    case PaperWorkload::kBt: {
+      BtParams p;
+      p.base = params;
+      return std::make_unique<BtWorkload>(p);
+    }
+    case PaperWorkload::kScale: {
+      StencilParams p;
+      p.base = params;
+      return std::make_unique<StencilWorkload>(p);
+    }
+  }
+  CMCP_CHECK_MSG(false, "unknown workload");
+  return nullptr;
+}
+
+}  // namespace cmcp::wl

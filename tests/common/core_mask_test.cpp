@@ -1,0 +1,98 @@
+#include "common/core_mask.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace cmcp {
+namespace {
+
+TEST(CoreMask, StartsEmpty) {
+  CoreMask m;
+  EXPECT_TRUE(m.none());
+  EXPECT_FALSE(m.any());
+  EXPECT_EQ(m.count(), 0u);
+}
+
+TEST(CoreMask, SetTestClear) {
+  CoreMask m;
+  m.set(0);
+  m.set(63);
+  m.set(64);  // crosses the word boundary
+  m.set(255);
+  EXPECT_TRUE(m.test(0));
+  EXPECT_TRUE(m.test(63));
+  EXPECT_TRUE(m.test(64));
+  EXPECT_TRUE(m.test(255));
+  EXPECT_FALSE(m.test(1));
+  EXPECT_EQ(m.count(), 4u);
+  m.clear(63);
+  EXPECT_FALSE(m.test(63));
+  EXPECT_EQ(m.count(), 3u);
+}
+
+TEST(CoreMask, SetIsIdempotent) {
+  CoreMask m;
+  m.set(5);
+  m.set(5);
+  EXPECT_EQ(m.count(), 1u);
+}
+
+TEST(CoreMask, ForEachAscending) {
+  CoreMask m;
+  m.set(200);
+  m.set(3);
+  m.set(64);
+  std::vector<CoreId> seen;
+  m.for_each([&](CoreId c) { seen.push_back(c); });
+  EXPECT_EQ(seen, (std::vector<CoreId>{3, 64, 200}));
+}
+
+TEST(CoreMask, FirstN) {
+  const CoreMask m = CoreMask::first_n(56);
+  EXPECT_EQ(m.count(), 56u);
+  EXPECT_TRUE(m.test(0));
+  EXPECT_TRUE(m.test(55));
+  EXPECT_FALSE(m.test(56));
+}
+
+TEST(CoreMask, FirstNZero) {
+  EXPECT_TRUE(CoreMask::first_n(0).none());
+}
+
+TEST(CoreMask, Equality) {
+  CoreMask a, b;
+  a.set(7);
+  b.set(7);
+  EXPECT_EQ(a, b);
+  b.set(8);
+  EXPECT_NE(a, b);
+}
+
+TEST(CoreMask, UnionAndIntersection) {
+  CoreMask a, b;
+  a.set(1);
+  a.set(2);
+  b.set(2);
+  b.set(3);
+  const CoreMask u = a | b;
+  EXPECT_EQ(u.count(), 3u);
+  EXPECT_TRUE(u.test(1) && u.test(2) && u.test(3));
+  const CoreMask i = a & b;
+  EXPECT_EQ(i.count(), 1u);
+  EXPECT_TRUE(i.test(2));
+}
+
+TEST(CoreMask, ResetClearsEverything) {
+  CoreMask m = CoreMask::first_n(100);
+  m.reset();
+  EXPECT_TRUE(m.none());
+}
+
+TEST(CoreMaskDeath, OutOfRangeAborts) {
+  CoreMask m;
+  EXPECT_DEATH(m.set(CoreMask::kMaxCores), "core < kMaxCores");
+}
+
+}  // namespace
+}  // namespace cmcp

@@ -1,0 +1,143 @@
+#include "common/intrusive_list.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace cmcp {
+namespace {
+
+struct Item {
+  int value = 0;
+  ListNode node;
+};
+
+using ItemList = IntrusiveList<Item, &Item::node>;
+
+std::vector<int> values(ItemList& list) {
+  std::vector<int> out;
+  list.for_each([&](Item& item) { out.push_back(item.value); });
+  return out;
+}
+
+TEST(IntrusiveList, StartsEmpty) {
+  ItemList list;
+  EXPECT_TRUE(list.empty());
+  EXPECT_EQ(list.size(), 0u);
+  EXPECT_EQ(list.front(), nullptr);
+  EXPECT_EQ(list.back(), nullptr);
+  EXPECT_EQ(list.pop_front(), nullptr);
+}
+
+TEST(IntrusiveList, PushBackPreservesOrder) {
+  ItemList list;
+  Item a{1}, b{2}, c{3};
+  list.push_back(a);
+  list.push_back(b);
+  list.push_back(c);
+  EXPECT_EQ(values(list), (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(list.front(), &a);
+  EXPECT_EQ(list.back(), &c);
+  EXPECT_EQ(list.size(), 3u);
+}
+
+TEST(IntrusiveList, PushFront) {
+  ItemList list;
+  Item a{1}, b{2};
+  list.push_front(a);
+  list.push_front(b);
+  EXPECT_EQ(values(list), (std::vector<int>{2, 1}));
+}
+
+TEST(IntrusiveList, EraseMiddle) {
+  ItemList list;
+  Item a{1}, b{2}, c{3};
+  list.push_back(a);
+  list.push_back(b);
+  list.push_back(c);
+  list.erase(b);
+  EXPECT_EQ(values(list), (std::vector<int>{1, 3}));
+  EXPECT_FALSE(ItemList::on_any_list(b));
+  EXPECT_TRUE(ItemList::on_any_list(a));
+}
+
+TEST(IntrusiveList, EraseEnds) {
+  ItemList list;
+  Item a{1}, b{2}, c{3};
+  list.push_back(a);
+  list.push_back(b);
+  list.push_back(c);
+  list.erase(a);
+  list.erase(c);
+  EXPECT_EQ(values(list), (std::vector<int>{2}));
+  EXPECT_EQ(list.front(), &b);
+  EXPECT_EQ(list.back(), &b);
+}
+
+TEST(IntrusiveList, PopFrontDrains) {
+  ItemList list;
+  Item a{1}, b{2};
+  list.push_back(a);
+  list.push_back(b);
+  EXPECT_EQ(list.pop_front(), &a);
+  EXPECT_EQ(list.pop_front(), &b);
+  EXPECT_EQ(list.pop_front(), nullptr);
+  EXPECT_TRUE(list.empty());
+}
+
+TEST(IntrusiveList, MoveToBack) {
+  ItemList list;
+  Item a{1}, b{2}, c{3};
+  list.push_back(a);
+  list.push_back(b);
+  list.push_back(c);
+  list.move_to_back(a);
+  EXPECT_EQ(values(list), (std::vector<int>{2, 3, 1}));
+  list.move_to_back(c);
+  EXPECT_EQ(values(list), (std::vector<int>{2, 1, 3}));
+}
+
+TEST(IntrusiveList, ReinsertAfterErase) {
+  ItemList list;
+  Item a{1};
+  list.push_back(a);
+  list.erase(a);
+  list.push_back(a);
+  EXPECT_EQ(list.size(), 1u);
+  EXPECT_EQ(list.front(), &a);
+}
+
+TEST(IntrusiveList, ItemMovesBetweenLists) {
+  ItemList first, second;
+  Item a{1};
+  first.push_back(a);
+  first.erase(a);
+  second.push_back(a);
+  EXPECT_TRUE(first.empty());
+  EXPECT_EQ(second.front(), &a);
+}
+
+TEST(IntrusiveList, NextOfWalksForward) {
+  ItemList list;
+  Item a{1}, b{2};
+  list.push_back(a);
+  list.push_back(b);
+  EXPECT_EQ(list.next_of(a), &b);
+  EXPECT_EQ(list.next_of(b), nullptr);
+}
+
+TEST(IntrusiveListDeath, EraseUnlinkedAborts) {
+  ItemList list;
+  Item a{1};
+  EXPECT_DEATH(list.erase(a), "unlinked");
+}
+
+TEST(IntrusiveListDeath, DoubleInsertAborts) {
+  ItemList list;
+  Item a{1};
+  list.push_back(a);
+  EXPECT_DEATH(list.push_back(a), "already-linked");
+}
+
+}  // namespace
+}  // namespace cmcp

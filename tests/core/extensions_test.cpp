@@ -1,0 +1,277 @@
+// Extension features: hardware TLB-coherence directory, sequential
+// prefetch, syscall offload, custom policy injection.
+#include <gtest/gtest.h>
+
+#include "core/simulation.h"
+#include "policy/fifo.h"
+#include "workloads/stencil.h"
+#include "workloads/workload_factory.h"
+
+namespace cmcp::core {
+namespace {
+
+// --- hardware TLB directory -------------------------------------------------
+
+struct HwFixture {
+  explicit HwFixture(sim::TlbCoherence coherence, CoreId cores = 4)
+      : machine([&] {
+          sim::MachineConfig mc;
+          mc.num_cores = cores;
+          mc.tlb_coherence = coherence;
+          return mc;
+        }()),
+        area(0, 64, PageSizeClass::k4K),
+        mm(machine, area, [] {
+          MemoryManagerConfig config;
+          config.capacity_units = 2;
+          return config;
+        }()) {}
+
+  void touch(CoreId core, Vpn vpn) {
+    machine.advance(core, mm.access(core, vpn, false, machine.clock(core)));
+  }
+
+  sim::Machine machine;
+  mm::ComputationArea area;
+  MemoryManager mm;
+};
+
+TEST(HardwareDirectory, NoInterruptsNoSlot) {
+  HwFixture f(sim::TlbCoherence::kHardwareDirectory);
+  f.touch(0, 0);
+  f.touch(1, 0);  // unit 0 mapped by cores 0, 1
+  f.touch(2, 1);
+  f.touch(3, 2);  // eviction of unit 0: hardware invalidation
+
+  // Receivers lost their entries but took no interrupts.
+  EXPECT_EQ(f.machine.counters(0).ipis_received, 0u);
+  EXPECT_EQ(f.machine.counters(1).ipis_received, 0u);
+  EXPECT_EQ(f.machine.counters(0).cycles_interrupt, 0u);
+  EXPECT_GE(f.machine.counters(0).remote_invalidations_received, 1u);
+  EXPECT_EQ(f.machine.interconnect().total_shootdowns(), 0u);
+  // The stale translation really is gone: core 0 re-faults.
+  const auto faults_before = f.machine.counters(0).major_faults;
+  f.touch(0, 0);
+  EXPECT_EQ(f.machine.counters(0).major_faults, faults_before + 1);
+}
+
+TEST(HardwareDirectory, CheaperThanIpis) {
+  HwFixture hw(sim::TlbCoherence::kHardwareDirectory);
+  HwFixture sw(sim::TlbCoherence::kIpiShootdown);
+  for (auto* f : {&hw, &sw}) {
+    f->touch(0, 0);
+    f->touch(1, 0);
+    f->touch(2, 1);
+    f->touch(3, 2);  // eviction with 2 mapping cores
+  }
+  EXPECT_LT(hw.machine.counters(3).cycles_shootdown,
+            sw.machine.counters(3).cycles_shootdown);
+  EXPECT_EQ(sw.machine.counters(0).ipis_received, 1u);
+}
+
+TEST(HardwareDirectory, EndToEndFasterForRegularTables) {
+  // The DiDi argument: with hardware invalidation, regular tables stop
+  // collapsing — their every-core shootdowns become cheap.
+  wl::WorkloadParams params;
+  params.cores = 16;
+  params.scale = 0.25;
+  const auto w = wl::make_paper_workload(wl::PaperWorkload::kBt, params);
+  SimulationConfig config;
+  config.machine.num_cores = 16;
+  config.pt_kind = PageTableKind::kRegular;
+  config.memory_fraction = 0.64;
+
+  config.machine.tlb_coherence = sim::TlbCoherence::kIpiShootdown;
+  const auto sw = run_simulation(config, *w);
+  config.machine.tlb_coherence = sim::TlbCoherence::kHardwareDirectory;
+  const auto hw = run_simulation(config, *w);
+  EXPECT_LT(hw.makespan, sw.makespan);
+  EXPECT_EQ(hw.app_total.cycles_interrupt, 0u);
+}
+
+// --- sequential prefetch ------------------------------------------------------
+
+struct PrefetchFixture {
+  explicit PrefetchFixture(unsigned degree, std::uint64_t capacity = 32)
+      : machine([] {
+          sim::MachineConfig mc;
+          mc.num_cores = 2;
+          return mc;
+        }()),
+        area(0, 64, PageSizeClass::k4K),
+        mm(machine, area, [&] {
+          MemoryManagerConfig config;
+          config.capacity_units = capacity;
+          config.prefetch_degree = degree;
+          return config;
+        }()) {}
+
+  void touch(CoreId core, Vpn vpn) {
+    machine.advance(core, mm.access(core, vpn, false, machine.clock(core)));
+  }
+
+  sim::Machine machine;
+  mm::ComputationArea area;
+  MemoryManager mm;
+};
+
+TEST(Prefetch, DisabledByDefault) {
+  PrefetchFixture f(0);
+  f.touch(0, 0);
+  EXPECT_EQ(f.machine.counters(0).prefetches, 0u);
+  EXPECT_EQ(f.mm.registry().size(), 1u);
+}
+
+TEST(Prefetch, FetchesFollowingUnits) {
+  PrefetchFixture f(3);
+  f.touch(0, 0);
+  EXPECT_EQ(f.machine.counters(0).prefetches, 3u);
+  EXPECT_EQ(f.mm.registry().size(), 4u);  // demand + 3 readahead
+  for (UnitIdx u = 1; u <= 3; ++u) {
+    ASSERT_NE(f.mm.registry().find(u), nullptr);
+    EXPECT_GT(f.mm.registry().find(u)->ready_at, 0u);
+  }
+  // Prefetched units are resident but unmapped until touched.
+  EXPECT_FALSE(f.mm.page_table().any_mapping(1));
+}
+
+TEST(Prefetch, SequentialWalkTurnsFaultsIntoMinorFaults) {
+  PrefetchFixture with(4);
+  PrefetchFixture without(0);
+  for (Vpn v = 0; v < 32; ++v) {
+    with.touch(0, v);
+    without.touch(0, v);
+  }
+  EXPECT_LT(with.machine.counters(0).major_faults,
+            without.machine.counters(0).major_faults / 2);
+  EXPECT_GT(with.machine.counters(0).prefetch_hits, 20u);
+  // Same data still crossed the link exactly once per unit.
+  EXPECT_EQ(with.machine.counters(0).pcie_bytes_in,
+            without.machine.counters(0).pcie_bytes_in);
+}
+
+TEST(Prefetch, NeverEvicts) {
+  PrefetchFixture f(8, /*capacity=*/2);
+  f.touch(0, 0);  // 1 free frame left: at most 1 prefetch
+  EXPECT_LE(f.machine.counters(0).prefetches, 1u);
+  EXPECT_EQ(f.machine.counters(0).evictions, 0u);
+  EXPECT_LE(f.mm.registry().size(), 2u);
+}
+
+TEST(Prefetch, PrefetchedPageIsEvictableBeforeUse) {
+  PrefetchFixture f(2, /*capacity=*/4);
+  f.touch(0, 0);  // + prefetch units 1, 2
+  f.touch(0, 40);
+  f.touch(0, 50);  // capacity reached; next fault evicts (FIFO head = unit 0)
+  f.touch(0, 60);
+  f.touch(0, 62);  // may evict a never-touched prefetched unit — must not die
+  EXPECT_GT(f.machine.counters(0).evictions, 0u);
+}
+
+TEST(Prefetch, EndToEndHelpsSequentialWorkload) {
+  wl::WorkloadParams params;
+  params.cores = 8;
+  params.scale = 0.25;
+  const auto w = wl::make_paper_workload(wl::PaperWorkload::kBt, params);
+  SimulationConfig config;
+  config.machine.num_cores = 8;
+  config.memory_fraction = 0.64;
+  const auto off = run_simulation(config, *w);
+  config.prefetch_degree = 4;
+  const auto on = run_simulation(config, *w);
+  EXPECT_LT(on.app_total.major_faults, off.app_total.major_faults);
+  EXPECT_GT(on.app_total.prefetch_hits, 0u);
+}
+
+// --- asynchronous write-back ---------------------------------------------------
+
+TEST(AsyncWriteback, SameBytesLessBlocking) {
+  wl::WorkloadParams params;
+  params.cores = 8;
+  params.scale = 0.2;
+  const auto w = wl::make_paper_workload(wl::PaperWorkload::kScale, params);
+  SimulationConfig config;
+  config.machine.num_cores = 8;
+  config.memory_fraction = 0.5;
+
+  const auto sync = run_simulation(config, *w);
+  config.async_writeback = true;
+  const auto async = run_simulation(config, *w);
+
+  EXPECT_EQ(async.app_total.writebacks, sync.app_total.writebacks);
+  EXPECT_EQ(async.app_total.pcie_bytes_out, sync.app_total.pcie_bytes_out);
+  EXPECT_LT(async.makespan, sync.makespan);
+}
+
+// --- syscall offload -----------------------------------------------------------
+
+class SyscallWorkload final : public wl::Workload {
+ public:
+  std::string_view name() const override { return "syscall"; }
+  CoreId num_cores() const override { return 2; }
+  std::uint64_t footprint_base_pages() const override { return 8; }
+  std::unique_ptr<wl::AccessStream> make_stream(CoreId) const override {
+    auto ops = std::make_shared<const std::vector<wl::Op>>(std::vector<wl::Op>{
+        wl::Op::compute(100), wl::Op::syscall(5000, 4096), wl::Op::compute(50)});
+    return std::make_unique<wl::VectorStream>(ops);
+  }
+};
+
+TEST(SyscallOffload, BlocksCallerForRoundTrip) {
+  SyscallWorkload w;
+  SimulationConfig config;
+  config.machine.num_cores = 2;
+  const auto result = run_simulation(config, w);
+  EXPECT_EQ(result.app_total.syscalls, 2u);
+  const auto& cost = sim::CostModel::knc();
+  // At least local trap + dispatch + service per call.
+  EXPECT_GT(result.app_total.cycles_syscall,
+            2 * (cost.syscall_local + cost.syscall_host_dispatch + 5000));
+  EXPECT_GT(result.makespan, 150u + cost.syscall_local + 5000);
+}
+
+TEST(SyscallOffload, StencilHistoryOutput) {
+  wl::StencilParams params;
+  params.base.cores = 4;
+  params.base.scale = 0.1;
+  params.io_bytes_per_step = 1 << 16;
+  wl::StencilWorkload w(params);
+  SimulationConfig config;
+  config.machine.num_cores = 4;
+  config.preload = true;
+  const auto result = run_simulation(config, w);
+  // One call per core per step (6 steps default).
+  EXPECT_EQ(result.app_total.syscalls, 4u * 6);
+  EXPECT_GT(result.app_total.cycles_syscall, 0u);
+}
+
+// --- custom policy injection ---------------------------------------------------
+
+TEST(CustomPolicy, FactoryOverridesBuiltIn) {
+  struct CountingFifo final : policy::FifoPolicy {
+    std::uint64_t* victims;
+    explicit CountingFifo(std::uint64_t* v) : victims(v) {}
+    mm::ResidentPage* pick_victim(CoreId core, Cycles& extra) override {
+      ++*victims;
+      return FifoPolicy::pick_victim(core, extra);
+    }
+  };
+
+  std::uint64_t victims = 0;
+  wl::WorkloadParams params;
+  params.cores = 4;
+  params.scale = 0.1;
+  const auto w = wl::make_paper_workload(wl::PaperWorkload::kCg, params);
+  SimulationConfig config;
+  config.machine.num_cores = 4;
+  config.memory_fraction = 0.4;
+  config.custom_policy = [&victims](policy::PolicyHost&) {
+    return std::make_unique<CountingFifo>(&victims);
+  };
+  const auto result = run_simulation(config, *w);
+  EXPECT_GT(victims, 0u);
+  EXPECT_EQ(victims, result.app_total.evictions);
+}
+
+}  // namespace
+}  // namespace cmcp::core

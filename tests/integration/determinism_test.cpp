@@ -1,0 +1,74 @@
+// The engine is a deterministic virtual-time interleaver: identical
+// configuration must give bit-identical results.
+#include <gtest/gtest.h>
+
+#include "core/simulation.h"
+#include "workloads/workload_factory.h"
+
+namespace cmcp {
+namespace {
+
+core::SimulationResult run_once(PolicyKind policy, std::uint64_t seed,
+                                wl::PaperWorkload which = wl::PaperWorkload::kBt) {
+  wl::WorkloadParams params;
+  params.cores = 8;
+  params.scale = 0.15;
+  params.seed = seed;
+  const auto w = wl::make_paper_workload(which, params);
+  core::SimulationConfig config;
+  config.machine.num_cores = 8;
+  config.memory_fraction = wl::paper_memory_fraction(which);
+  config.policy.kind = policy;
+  return core::run_simulation(config, *w);
+}
+
+bool counters_equal(const metrics::CoreCounters& a, const metrics::CoreCounters& b) {
+  return a.accesses == b.accesses && a.dtlb_misses == b.dtlb_misses &&
+         a.major_faults == b.major_faults && a.minor_faults == b.minor_faults &&
+         a.remote_invalidations_received == b.remote_invalidations_received &&
+         a.evictions == b.evictions && a.writebacks == b.writebacks &&
+         a.pcie_bytes_in == b.pcie_bytes_in &&
+         a.cycles_compute == b.cycles_compute &&
+         a.cycles_fault == b.cycles_fault &&
+         a.cycles_lock_wait == b.cycles_lock_wait &&
+         a.cycles_pcie_wait == b.cycles_pcie_wait &&
+         a.cycles_barrier == b.cycles_barrier;
+}
+
+class DeterminismTest : public ::testing::TestWithParam<PolicyKind> {};
+
+TEST_P(DeterminismTest, IdenticalConfigIdenticalResult) {
+  const auto a = run_once(GetParam(), 42);
+  const auto b = run_once(GetParam(), 42);
+  EXPECT_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.sharing_histogram, b.sharing_histogram);
+  ASSERT_EQ(a.per_core.size(), b.per_core.size());
+  for (std::size_t c = 0; c < a.per_core.size(); ++c)
+    EXPECT_TRUE(counters_equal(a.per_core[c], b.per_core[c])) << "core " << c;
+  EXPECT_TRUE(counters_equal(a.scanner, b.scanner));
+}
+
+TEST_P(DeterminismTest, DifferentSeedsDiverge) {
+  const auto a = run_once(GetParam(), 1);
+  const auto b = run_once(GetParam(), 2);
+  EXPECT_NE(a.makespan, b.makespan);
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, DeterminismTest,
+                         ::testing::Values(PolicyKind::kFifo, PolicyKind::kLru,
+                                           PolicyKind::kCmcp),
+                         [](const auto& info) {
+                           return std::string(to_string(info.param));
+                         });
+
+TEST(Determinism, AllWorkloadsStable) {
+  for (const auto which : wl::kAllPaperWorkloads) {
+    const auto a = run_once(PolicyKind::kCmcp, 9, which);
+    const auto b = run_once(PolicyKind::kCmcp, 9, which);
+    EXPECT_EQ(a.makespan, b.makespan) << to_string(which);
+    EXPECT_EQ(a.app_total.major_faults, b.app_total.major_faults);
+  }
+}
+
+}  // namespace
+}  // namespace cmcp

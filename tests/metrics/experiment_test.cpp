@@ -1,0 +1,86 @@
+#include "metrics/experiment.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+namespace cmcp::metrics {
+namespace {
+
+TEST(RunSpec, LabelMentionsEveryDimension) {
+  RunSpec spec;
+  spec.workload = wl::PaperWorkload::kLu;
+  spec.cores = 24;
+  spec.pt_kind = PageTableKind::kPspt;
+  spec.policy.kind = PolicyKind::kCmcp;
+  spec.page_size = PageSizeClass::k64K;
+  const std::string label = spec.label();
+  EXPECT_NE(label.find("lu.B"), std::string::npos);
+  EXPECT_NE(label.find("PSPT"), std::string::npos);
+  EXPECT_NE(label.find("CMCP"), std::string::npos);
+  EXPECT_NE(label.find("24c"), std::string::npos);
+  EXPECT_NE(label.find("64kB"), std::string::npos);
+}
+
+TEST(RunSpec, LabelFlagsPreload) {
+  RunSpec spec;
+  spec.preload = true;
+  EXPECT_NE(spec.label().find("no data movement"), std::string::npos);
+}
+
+TEST(ToConfig, UsesPaperFractionWhenUnset) {
+  RunSpec spec;
+  spec.workload = wl::PaperWorkload::kCg;
+  spec.memory_fraction = -1.0;
+  const auto config = to_config(spec);
+  EXPECT_DOUBLE_EQ(config.memory_fraction, 0.37);
+}
+
+TEST(ToConfig, ExplicitFractionWins) {
+  RunSpec spec;
+  spec.memory_fraction = 0.8;
+  EXPECT_DOUBLE_EQ(to_config(spec).memory_fraction, 0.8);
+}
+
+TEST(ToConfig, CopiesMachineKnobs) {
+  RunSpec spec;
+  spec.cores = 12;
+  spec.page_size = PageSizeClass::k2M;
+  const auto config = to_config(spec);
+  EXPECT_EQ(config.machine.num_cores, 12u);
+  EXPECT_EQ(config.machine.page_size, PageSizeClass::k2M);
+}
+
+TEST(RelativePerformance, RatioAndZeroGuard) {
+  core::SimulationResult base, run;
+  base.makespan = 100;
+  run.makespan = 200;
+  EXPECT_DOUBLE_EQ(relative_performance(base, run), 0.5);
+  run.makespan = 0;
+  EXPECT_DOUBLE_EQ(relative_performance(base, run), 0.0);
+}
+
+TEST(FastMode, FollowsEnvironment) {
+  unsetenv("CMCP_BENCH_FAST");
+  EXPECT_FALSE(fast_mode());
+  EXPECT_EQ(paper_core_counts().size(), 7u);
+  setenv("CMCP_BENCH_FAST", "1", 1);
+  EXPECT_TRUE(fast_mode());
+  EXPECT_LT(paper_core_counts().size(), 7u);
+  unsetenv("CMCP_BENCH_FAST");
+}
+
+TEST(RunSpecEndToEnd, SmokeRun) {
+  RunSpec spec;
+  spec.workload = wl::PaperWorkload::kScale;
+  spec.cores = 4;
+  spec.scale = 0.05;
+  spec.policy.kind = PolicyKind::kCmcp;
+  const auto result = run_spec(spec);
+  EXPECT_GT(result.makespan, 0u);
+  EXPECT_GT(result.app_total.accesses, 0u);
+  EXPECT_EQ(result.per_core.size(), 4u);
+}
+
+}  // namespace
+}  // namespace cmcp::metrics

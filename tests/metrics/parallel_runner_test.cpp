@@ -1,0 +1,67 @@
+#include "metrics/parallel_runner.h"
+
+#include <gtest/gtest.h>
+
+namespace cmcp::metrics {
+namespace {
+
+std::vector<RunSpec> small_sweep() {
+  std::vector<RunSpec> specs;
+  for (const PolicyKind policy :
+       {PolicyKind::kFifo, PolicyKind::kLru, PolicyKind::kCmcp}) {
+    for (const CoreId cores : {4u, 8u}) {
+      RunSpec spec;
+      spec.workload = wl::PaperWorkload::kScale;
+      spec.cores = cores;
+      spec.scale = 0.05;
+      spec.policy.kind = policy;
+      specs.push_back(spec);
+    }
+  }
+  return specs;
+}
+
+TEST(ParallelRunner, MatchesSerialExecutionExactly) {
+  const auto specs = small_sweep();
+  const auto parallel = run_specs_parallel(specs, 4);
+  ASSERT_EQ(parallel.size(), specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    const auto serial = run_spec(specs[i]);
+    EXPECT_EQ(parallel[i].makespan, serial.makespan) << "spec " << i;
+    EXPECT_EQ(parallel[i].app_total.major_faults,
+              serial.app_total.major_faults);
+    EXPECT_EQ(parallel[i].app_total.remote_invalidations_received,
+              serial.app_total.remote_invalidations_received);
+  }
+}
+
+TEST(ParallelRunner, SingleThreadFallback) {
+  const auto specs = small_sweep();
+  const auto one = run_specs_parallel(specs, 1);
+  const auto many = run_specs_parallel(specs, 8);
+  for (std::size_t i = 0; i < specs.size(); ++i)
+    EXPECT_EQ(one[i].makespan, many[i].makespan);
+}
+
+TEST(ParallelRunner, EmptyInput) {
+  EXPECT_TRUE(run_specs_parallel({}, 4).empty());
+  EXPECT_TRUE(run_jobs_parallel({}, 4).empty());
+}
+
+TEST(ParallelRunner, JobsVariantPreservesOrder) {
+  std::vector<std::function<core::SimulationResult()>> jobs;
+  for (int i = 1; i <= 6; ++i) {
+    jobs.emplace_back([i] {
+      core::SimulationResult r;
+      r.makespan = static_cast<Cycles>(i * 100);
+      return r;
+    });
+  }
+  const auto results = run_jobs_parallel(jobs, 3);
+  ASSERT_EQ(results.size(), 6u);
+  for (int i = 0; i < 6; ++i)
+    EXPECT_EQ(results[i].makespan, static_cast<Cycles>((i + 1) * 100));
+}
+
+}  // namespace
+}  // namespace cmcp::metrics

@@ -1,0 +1,65 @@
+#include "metrics/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "metrics/counters.h"
+
+namespace cmcp::metrics {
+namespace {
+
+TEST(Summary, EmptyIsZero) {
+  const Summary s = summarize({});
+  EXPECT_EQ(s.mean, 0.0);
+  EXPECT_EQ(s.stddev, 0.0);
+}
+
+TEST(Summary, SingleValue) {
+  const std::array<double, 1> v = {7.0};
+  const Summary s = summarize(v);
+  EXPECT_DOUBLE_EQ(s.mean, 7.0);
+  EXPECT_DOUBLE_EQ(s.min, 7.0);
+  EXPECT_DOUBLE_EQ(s.max, 7.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+}
+
+TEST(Summary, KnownDistribution) {
+  const std::array<double, 4> v = {2.0, 4.0, 4.0, 6.0};
+  const Summary s = summarize(v);
+  EXPECT_DOUBLE_EQ(s.mean, 4.0);
+  EXPECT_DOUBLE_EQ(s.min, 2.0);
+  EXPECT_DOUBLE_EQ(s.max, 6.0);
+  EXPECT_NEAR(s.stddev, 1.4142, 1e-3);
+}
+
+TEST(CyclesToSeconds, UsesModelClock) {
+  sim::CostModel cost;
+  cost.clock_ghz = 1.0;
+  EXPECT_DOUBLE_EQ(cycles_to_seconds(1'000'000'000, cost), 1.0);
+  cost.clock_ghz = 2.0;
+  EXPECT_DOUBLE_EQ(cycles_to_seconds(1'000'000'000, cost), 0.5);
+}
+
+TEST(CoreCounters, AccumulationSumsEveryField) {
+  CoreCounters a, b;
+  a.accesses = 1;
+  a.dtlb_misses = 2;
+  a.major_faults = 3;
+  a.minor_faults = 4;
+  a.remote_invalidations_received = 5;
+  a.cycles_compute = 6;
+  a.pcie_bytes_in = 7;
+  b = a;
+  b += a;
+  EXPECT_EQ(b.accesses, 2u);
+  EXPECT_EQ(b.dtlb_misses, 4u);
+  EXPECT_EQ(b.major_faults, 6u);
+  EXPECT_EQ(b.minor_faults, 8u);
+  EXPECT_EQ(b.remote_invalidations_received, 10u);
+  EXPECT_EQ(b.cycles_compute, 12u);
+  EXPECT_EQ(b.pcie_bytes_in, 14u);
+}
+
+}  // namespace
+}  // namespace cmcp::metrics

@@ -1,0 +1,72 @@
+#include "mm/address.h"
+
+#include <gtest/gtest.h>
+
+namespace cmcp::mm {
+namespace {
+
+TEST(PageSizeMath, UnitGeometry) {
+  EXPECT_EQ(base_pages_per_unit(PageSizeClass::k4K), 1u);
+  EXPECT_EQ(base_pages_per_unit(PageSizeClass::k64K), 16u);
+  EXPECT_EQ(base_pages_per_unit(PageSizeClass::k2M), 512u);
+  EXPECT_EQ(unit_bytes(PageSizeClass::k4K), 4096u);
+  EXPECT_EQ(unit_bytes(PageSizeClass::k64K), 65536u);
+  EXPECT_EQ(unit_bytes(PageSizeClass::k2M), 2u * 1024 * 1024);
+}
+
+TEST(PageSizeMath, UnitOfAndFirstVpnRoundTrip) {
+  for (const PageSizeClass c :
+       {PageSizeClass::k4K, PageSizeClass::k64K, PageSizeClass::k2M}) {
+    const Vpn vpn = 12345;
+    const UnitIdx unit = unit_of(vpn, c);
+    EXPECT_LE(first_vpn(unit, c), vpn);
+    EXPECT_GT(first_vpn(unit + 1, c), vpn);
+  }
+}
+
+TEST(ComputationArea, ContainsAndUnitOf) {
+  const ComputationArea area(512, 1000, PageSizeClass::k4K);
+  EXPECT_TRUE(area.contains(512));
+  EXPECT_TRUE(area.contains(1511));
+  EXPECT_FALSE(area.contains(511));
+  EXPECT_FALSE(area.contains(1512));
+  EXPECT_EQ(area.unit_of(512), 0u);
+  EXPECT_EQ(area.unit_of(1511), 999u);
+  EXPECT_EQ(area.num_units(), 1000u);
+}
+
+TEST(ComputationArea, RoundsUpToWholeUnits) {
+  const ComputationArea area(0, 100, PageSizeClass::k64K);
+  // 100 base pages -> ceil(100/16) = 7 units of 64 kB.
+  EXPECT_EQ(area.num_units(), 7u);
+  EXPECT_EQ(area.unit_of(0), 0u);
+  EXPECT_EQ(area.unit_of(15), 0u);
+  EXPECT_EQ(area.unit_of(16), 1u);
+  EXPECT_EQ(area.unit_of(99), 6u);
+}
+
+TEST(ComputationArea, Alignment2M) {
+  const ComputationArea area(512, 2048, PageSizeClass::k2M);
+  EXPECT_EQ(area.num_units(), 4u);
+  EXPECT_EQ(area.unit_of(512), 0u);
+  EXPECT_EQ(area.unit_of(1023), 0u);
+  EXPECT_EQ(area.unit_of(1024), 1u);
+}
+
+TEST(ComputationArea, FootprintBytes) {
+  const ComputationArea area(0, 256, PageSizeClass::k4K);
+  EXPECT_EQ(area.footprint_bytes(), 256u * 4096);
+}
+
+TEST(ComputationAreaDeath, MisalignedBaseAborts) {
+  EXPECT_DEATH(ComputationArea(8, 100, PageSizeClass::k64K), "misaligned");
+  EXPECT_DEATH(ComputationArea(100, 1000, PageSizeClass::k2M), "misaligned");
+}
+
+TEST(ComputationAreaDeath, OutOfRangeUnitOfAborts) {
+  const ComputationArea area(0, 10, PageSizeClass::k4K);
+  EXPECT_DEATH(area.unit_of(10), "");
+}
+
+}  // namespace
+}  // namespace cmcp::mm

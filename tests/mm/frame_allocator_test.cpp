@@ -1,0 +1,80 @@
+#include "mm/frame_allocator.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace cmcp::mm {
+namespace {
+
+TEST(FrameAllocator, AllocatesUpToCapacity) {
+  FrameAllocator alloc(3, PageSizeClass::k4K);
+  std::set<Pfn> frames;
+  for (int i = 0; i < 3; ++i) {
+    const Pfn pfn = alloc.allocate();
+    ASSERT_NE(pfn, kInvalidPfn);
+    EXPECT_TRUE(frames.insert(pfn).second) << "duplicate frame";
+  }
+  EXPECT_EQ(alloc.allocate(), kInvalidPfn);
+  EXPECT_TRUE(alloc.full());
+  EXPECT_EQ(alloc.in_use(), 3u);
+}
+
+TEST(FrameAllocator, FreeMakesFrameReusable) {
+  FrameAllocator alloc(1, PageSizeClass::k4K);
+  const Pfn pfn = alloc.allocate();
+  EXPECT_EQ(alloc.allocate(), kInvalidPfn);
+  alloc.free(pfn);
+  EXPECT_EQ(alloc.in_use(), 0u);
+  EXPECT_EQ(alloc.allocate(), pfn);
+}
+
+TEST(FrameAllocator, FramesAlignedFor64k) {
+  // The Phi 64 kB format requires the first sub-entry to map a 64 kB
+  // aligned physical frame (paper section 4).
+  FrameAllocator alloc(8, PageSizeClass::k64K);
+  for (int i = 0; i < 8; ++i) {
+    const Pfn pfn = alloc.allocate();
+    ASSERT_NE(pfn, kInvalidPfn);
+    EXPECT_EQ(pfn % 16, 0u) << "64kB frame misaligned";
+  }
+}
+
+TEST(FrameAllocator, FramesAlignedFor2M) {
+  FrameAllocator alloc(4, PageSizeClass::k2M);
+  for (int i = 0; i < 4; ++i) {
+    const Pfn pfn = alloc.allocate();
+    EXPECT_EQ(pfn % 512, 0u);
+  }
+}
+
+TEST(FrameAllocator, ChurnNeverLosesFrames) {
+  FrameAllocator alloc(16, PageSizeClass::k4K);
+  std::vector<Pfn> held;
+  std::uint64_t state = 99;
+  for (int step = 0; step < 5000; ++step) {
+    state = state * 6364136223846793005ULL + 1;
+    if ((state >> 33) % 2 == 0 && !alloc.full()) {
+      held.push_back(alloc.allocate());
+    } else if (!held.empty()) {
+      alloc.free(held.back());
+      held.pop_back();
+    }
+    EXPECT_EQ(alloc.in_use(), held.size());
+  }
+}
+
+TEST(FrameAllocatorDeath, DoubleFreeAborts) {
+  FrameAllocator alloc(2, PageSizeClass::k4K);
+  const Pfn pfn = alloc.allocate();
+  alloc.free(pfn);
+  EXPECT_DEATH(alloc.free(pfn), "");
+}
+
+TEST(FrameAllocatorDeath, MisalignedFreeAborts) {
+  FrameAllocator alloc(2, PageSizeClass::k64K);
+  EXPECT_DEATH(alloc.free(3), "");
+}
+
+}  // namespace
+}  // namespace cmcp::mm

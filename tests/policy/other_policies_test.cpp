@@ -1,0 +1,218 @@
+// CLOCK, LFU, RANDOM, the dynamic-p controller and the policy factory.
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "policy/clock_policy.h"
+#include "policy/dynamic_p.h"
+#include "policy/lfu.h"
+#include "policy/policy_factory.h"
+#include "policy/random_policy.h"
+#include "testing/policy_harness.h"
+
+namespace cmcp::policy {
+namespace {
+
+using testing::FakePolicyHost;
+using testing::PageFactory;
+
+TEST(Clock, EvictsUnreferencedHand) {
+  FakePolicyHost host(8, 4);
+  ClockPolicy policy(host);
+  PageFactory pages;
+  auto& a = pages.make(1);
+  auto& b = pages.make(2);
+  policy.on_insert(a);
+  policy.on_insert(b);
+  Cycles extra = 0;
+  EXPECT_EQ(policy.pick_victim(0, extra), &a);
+  EXPECT_EQ(extra, 0u);  // nothing referenced: no shootdowns
+}
+
+TEST(Clock, ReferencedHandGetsSecondChanceAtShootdownCost) {
+  FakePolicyHost host(8, 4);
+  ClockPolicy policy(host);
+  PageFactory pages;
+  auto& a = pages.make(1);
+  auto& b = pages.make(2);
+  policy.on_insert(a);
+  policy.on_insert(b);
+  host.set_accessed(1);  // a referenced
+  Cycles extra = 0;
+  EXPECT_EQ(policy.pick_victim(0, extra), &b);
+  EXPECT_EQ(extra, host.shootdown_cost);  // clearing a's bit cost a shootdown
+  EXPECT_EQ(host.shootdowns(), 1u);
+  EXPECT_EQ(policy.stat("second_chances"), 1u);
+}
+
+TEST(Clock, AllReferencedStillYieldsVictim) {
+  FakePolicyHost host(8, 4);
+  ClockPolicy policy(host);
+  PageFactory pages;
+  for (UnitIdx u = 0; u < 4; ++u) {
+    policy.on_insert(pages.make(u));
+    host.set_accessed(u);
+  }
+  Cycles extra = 0;
+  mm::ResidentPage* victim = policy.pick_victim(0, extra);
+  ASSERT_NE(victim, nullptr);
+  // Every page's bit was cleared once before the second lap chose a victim.
+  EXPECT_EQ(host.shootdowns(), 4u);
+}
+
+TEST(Lfu, EvictsLeastFrequentlyScannedFirst) {
+  LfuPolicy policy;
+  EXPECT_TRUE(policy.wants_scanner());
+  PageFactory pages;
+  auto& rare = pages.make(1);
+  auto& frequent = pages.make(2);
+  policy.on_insert(rare);
+  policy.on_insert(frequent);
+  for (int s = 0; s < 3; ++s) policy.on_scan(frequent, true);
+  policy.on_scan(rare, true);
+  Cycles extra = 0;
+  EXPECT_EQ(policy.pick_victim(0, extra), &rare);
+  policy.on_evict(rare);
+  EXPECT_EQ(policy.pick_victim(0, extra), &frequent);
+}
+
+TEST(Lfu, TiesBrokenFifoWithinBucket) {
+  LfuPolicy policy;
+  PageFactory pages;
+  auto& a = pages.make(1);
+  auto& b = pages.make(2);
+  policy.on_insert(a);
+  policy.on_insert(b);
+  Cycles extra = 0;
+  EXPECT_EQ(policy.pick_victim(0, extra), &a);
+}
+
+TEST(Lfu, FrequencySaturates) {
+  LfuPolicy policy;
+  PageFactory pages;
+  auto& pg = pages.make(1);
+  policy.on_insert(pg);
+  for (int s = 0; s < 300; ++s) policy.on_scan(pg, true);
+  EXPECT_EQ(pg.bucket, 255u);
+  policy.on_evict(pg);  // must not crash on the saturated bucket
+}
+
+TEST(Random, VictimsAreResidentAndCoverTheSet) {
+  RandomPolicy policy(/*seed=*/42);
+  PageFactory pages;
+  std::unordered_set<UnitIdx> resident;
+  for (UnitIdx u = 0; u < 16; ++u) {
+    policy.on_insert(pages.make(u));
+    resident.insert(u);
+  }
+  std::unordered_set<UnitIdx> victims;
+  for (int i = 0; i < 200; ++i) {
+    Cycles extra = 0;
+    mm::ResidentPage* victim = policy.pick_victim(0, extra);
+    ASSERT_NE(victim, nullptr);
+    EXPECT_TRUE(resident.contains(victim->unit));
+    victims.insert(victim->unit);
+  }
+  // Uniform choice over 16 pages across 200 draws covers nearly all.
+  EXPECT_GE(victims.size(), 14u);
+}
+
+TEST(Random, SwapRemoveKeepsIndexConsistent) {
+  RandomPolicy policy(7);
+  PageFactory pages;
+  std::vector<mm::ResidentPage*> resident;
+  for (UnitIdx u = 0; u < 8; ++u) {
+    resident.push_back(&pages.make(u));
+    policy.on_insert(*resident.back());
+  }
+  // Evict from the middle repeatedly; slots must stay valid.
+  for (int i = 0; i < 8; ++i) {
+    Cycles extra = 0;
+    mm::ResidentPage* victim = policy.pick_victim(0, extra);
+    ASSERT_NE(victim, nullptr);
+    policy.on_evict(*victim);
+    std::erase(resident, victim);
+  }
+}
+
+TEST(DynamicP, AdjustsPOverWindows) {
+  FakePolicyHost host(100, 8);
+  DynamicPConfig config;
+  config.cmcp.p = 0.5;
+  config.step = 0.1;
+  config.window_ticks = 2;
+  DynamicPCmcpPolicy policy(host, config);
+  const double initial = policy.current_p();
+  PageFactory pages;
+  // Feed eviction activity and ticks; p must move.
+  UnitIdx next = 0;
+  for (int w = 0; w < 6; ++w) {
+    for (int i = 0; i < 10; ++i) {
+      auto& pg = pages.make(next++, 1);
+      policy.on_insert(pg);
+      Cycles extra = 0;
+      mm::ResidentPage* victim = policy.pick_victim(0, extra);
+      policy.on_evict(*victim);
+      pages.registry().erase(*victim);
+    }
+    policy.on_tick(2 * w);
+    policy.on_tick(2 * w + 1);
+  }
+  EXPECT_GT(policy.stat("adaptations"), 0u);
+  EXPECT_NE(policy.current_p(), initial);
+}
+
+TEST(DynamicP, StaysWithinBounds) {
+  FakePolicyHost host(100, 8);
+  DynamicPConfig config;
+  config.cmcp.p = 0.9;
+  config.step = 0.3;
+  config.window_ticks = 1;
+  DynamicPCmcpPolicy policy(host, config);
+  PageFactory pages;
+  UnitIdx next = 0;
+  for (int w = 0; w < 50; ++w) {
+    auto& pg = pages.make(next++, 1);
+    policy.on_insert(pg);
+    Cycles extra = 0;
+    mm::ResidentPage* victim = policy.pick_victim(0, extra);
+    policy.on_evict(*victim);
+    pages.registry().erase(*victim);
+    policy.on_tick(w);
+    EXPECT_GE(policy.current_p(), 0.0);
+    EXPECT_LE(policy.current_p(), 1.0);
+  }
+}
+
+class FactoryTest : public ::testing::TestWithParam<PolicyKind> {};
+
+TEST_P(FactoryTest, ConstructsWorkingPolicy) {
+  FakePolicyHost host(32, 8);
+  PolicyParams params;
+  params.kind = GetParam();
+  auto policy = make_policy(host, params);
+  ASSERT_NE(policy, nullptr);
+  EXPECT_EQ(policy->name(), to_string(GetParam()));
+
+  PageFactory pages;
+  for (UnitIdx u = 0; u < 4; ++u) policy->on_insert(pages.make(u, 1 + u));
+  Cycles extra = 0;
+  mm::ResidentPage* victim = policy->pick_victim(0, extra);
+  ASSERT_NE(victim, nullptr);
+  policy->on_evict(*victim);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKinds, FactoryTest,
+    ::testing::Values(PolicyKind::kFifo, PolicyKind::kLru, PolicyKind::kCmcp,
+                      PolicyKind::kClock, PolicyKind::kLfu, PolicyKind::kRandom,
+                      PolicyKind::kCmcpDynamicP, PolicyKind::kArc),
+    [](const auto& info) {
+      std::string name(to_string(info.param));
+      for (char& ch : name)
+        if (ch == '-') ch = '_';
+      return name;
+    });
+
+}  // namespace
+}  // namespace cmcp::policy

@@ -1,0 +1,134 @@
+#include "sim/machine.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+namespace cmcp::sim {
+namespace {
+
+MachineConfig small_config(CoreId cores = 4) {
+  MachineConfig config;
+  config.num_cores = cores;
+  return config;
+}
+
+TEST(Machine, ClocksStartAtZero) {
+  Machine m(small_config());
+  for (CoreId c = 0; c < 4; ++c) EXPECT_EQ(m.clock(c), 0u);
+  EXPECT_EQ(m.clock(m.scanner_core()), 0u);
+}
+
+TEST(Machine, AdvanceAndSetClock) {
+  Machine m(small_config());
+  m.advance(1, 100);
+  m.advance(1, 50);
+  EXPECT_EQ(m.clock(1), 150u);
+  m.set_clock(1, 1000);
+  EXPECT_EQ(m.clock(1), 1000u);
+  EXPECT_EQ(m.clock(0), 0u);
+}
+
+TEST(Machine, ScannerCoreHasOwnTlbAndCounters) {
+  Machine m(small_config(2));
+  m.tlb(m.scanner_core()).insert(7);
+  EXPECT_TRUE(m.tlb(m.scanner_core()).lookup(7));
+  EXPECT_FALSE(m.tlb(0).lookup(7));
+}
+
+TEST(Machine, ShootdownChargesInitiatorAndReceivers) {
+  Machine m(small_config(4));
+  m.tlb(1).insert(42);
+  m.tlb(2).insert(42);
+
+  CoreMask targets;
+  targets.set(1);
+  targets.set(2);
+  const std::array<UnitIdx, 1> units = {42};
+  const Cycles initiator_cycles = m.shootdown(0, 0, targets, units);
+
+  EXPECT_GT(initiator_cycles, 0u);
+  EXPECT_EQ(m.counters(0).shootdowns_initiated, 1u);
+  // Receivers: interrupted, invalidated, clocks advanced.
+  for (CoreId c : {CoreId{1}, CoreId{2}}) {
+    EXPECT_EQ(m.counters(c).ipis_received, 1u);
+    EXPECT_EQ(m.counters(c).remote_invalidations_received, 1u);
+    EXPECT_GT(m.counters(c).cycles_interrupt, 0u);
+    EXPECT_GT(m.clock(c), 0u);
+    EXPECT_FALSE(m.tlb(c).lookup(42));
+  }
+  // Non-targets untouched.
+  EXPECT_EQ(m.counters(3).ipis_received, 0u);
+  EXPECT_EQ(m.clock(3), 0u);
+  // Initiator's own clock is advanced by the caller, not by shootdown().
+  EXPECT_EQ(m.clock(0), 0u);
+}
+
+TEST(Machine, ShootdownWithEmptyMaskIsFree) {
+  Machine m(small_config(4));
+  const std::array<UnitIdx, 1> units = {1};
+  EXPECT_EQ(m.shootdown(0, 0, CoreMask{}, units), 0u);
+  EXPECT_EQ(m.counters(0).shootdowns_initiated, 0u);
+}
+
+TEST(MachineDeath, InitiatorInTargetMaskAborts) {
+  Machine m(small_config(4));
+  CoreMask targets;
+  targets.set(0);
+  const std::array<UnitIdx, 1> units = {1};
+  EXPECT_DEATH(m.shootdown(0, 0, targets, units), "");
+}
+
+TEST(Machine, BatchShootdownChargesPerMappedUnit) {
+  Machine m(small_config(4));
+  m.tlb(1).insert(10);
+  m.tlb(1).insert(11);
+  m.tlb(2).insert(11);
+
+  CoreMask only1;
+  only1.set(1);
+  CoreMask both;
+  both.set(1);
+  both.set(2);
+  const std::array<Machine::BatchItem, 2> items = {
+      Machine::BatchItem{10, only1}, Machine::BatchItem{11, both}};
+  const Cycles cycles = m.shootdown_batch(0, 0, items);
+  EXPECT_GT(cycles, 0u);
+
+  // Core 1 maps both units, core 2 only one.
+  EXPECT_EQ(m.counters(1).remote_invalidations_received, 2u);
+  EXPECT_EQ(m.counters(2).remote_invalidations_received, 1u);
+  EXPECT_EQ(m.counters(1).ipis_received, 1u);  // one IPI for the whole batch
+  EXPECT_EQ(m.counters(2).ipis_received, 1u);
+  EXPECT_FALSE(m.tlb(1).lookup(10));
+  EXPECT_FALSE(m.tlb(1).lookup(11));
+  EXPECT_FALSE(m.tlb(2).lookup(11));
+}
+
+TEST(Machine, BatchShootdownSkipsInitiator) {
+  Machine m(small_config(2));
+  CoreMask self_only;
+  self_only.set(0);
+  const std::array<Machine::BatchItem, 1> items = {
+      Machine::BatchItem{5, self_only}};
+  EXPECT_EQ(m.shootdown_batch(0, 0, items), 0u);
+  EXPECT_EQ(m.counters(0).ipis_received, 0u);
+}
+
+TEST(Machine, AggregateExcludesScanner) {
+  Machine m(small_config(2));
+  m.counters(0).major_faults = 5;
+  m.counters(1).major_faults = 7;
+  m.counters(m.scanner_core()).major_faults = 100;
+  EXPECT_EQ(m.aggregate_app_counters().major_faults, 12u);
+}
+
+TEST(Machine, TlbSizedForConfiguredPageSize) {
+  MachineConfig config = small_config(1);
+  config.page_size = PageSizeClass::k2M;
+  Machine m(config);
+  EXPECT_EQ(m.tlb(0).capacity(), config.tlb.entries_2m);
+}
+
+}  // namespace
+}  // namespace cmcp::sim

@@ -1,0 +1,86 @@
+#include "sim/pcie_link.h"
+
+#include <gtest/gtest.h>
+
+namespace cmcp::sim {
+namespace {
+
+class PcieLinkTest : public ::testing::Test {
+ protected:
+  CostModel cost = CostModel::knc();
+};
+
+TEST_F(PcieLinkTest, TransferTimeMatchesBandwidth) {
+  PcieLink link(cost);
+  Cycles wait = 0;
+  const Cycles done = link.transfer(PcieDir::kHostToDevice, 0, 4096, &wait);
+  EXPECT_EQ(wait, 0u);
+  // 4 kB at 6 GB/s = ~683 ns = ~719 cycles at 1.053 GHz, plus setup.
+  const Cycles expected = cost.pcie_setup + cost.pcie_transfer_cycles(4096);
+  EXPECT_EQ(done, expected);
+  EXPECT_NEAR(static_cast<double>(cost.pcie_transfer_cycles(4096)), 718.0, 2.0);
+}
+
+TEST_F(PcieLinkTest, BackToBackTransfersQueue) {
+  PcieLink link(cost);
+  Cycles wait = 0;
+  const Cycles first = link.transfer(PcieDir::kHostToDevice, 0, 4096, &wait);
+  const Cycles second = link.transfer(PcieDir::kHostToDevice, 0, 4096, &wait);
+  EXPECT_EQ(wait, first);          // queued behind the first transfer
+  EXPECT_EQ(second, 2 * first);    // serialized occupancy
+}
+
+TEST_F(PcieLinkTest, DirectionsAreIndependent) {
+  PcieLink link(cost);
+  Cycles wait = 0;
+  link.transfer(PcieDir::kHostToDevice, 0, 1 << 20, &wait);
+  const Cycles up = link.transfer(PcieDir::kDeviceToHost, 0, 4096, &wait);
+  EXPECT_EQ(wait, 0u);  // full duplex: no queueing across directions
+  EXPECT_EQ(up, cost.pcie_setup + cost.pcie_transfer_cycles(4096));
+}
+
+TEST_F(PcieLinkTest, LateArrivalDoesNotQueue) {
+  PcieLink link(cost);
+  Cycles wait = 0;
+  const Cycles first = link.transfer(PcieDir::kHostToDevice, 0, 4096, &wait);
+  const Cycles start = first + 1000;
+  const Cycles done = link.transfer(PcieDir::kHostToDevice, start, 4096, &wait);
+  EXPECT_EQ(wait, 0u);
+  EXPECT_EQ(done, start + cost.pcie_setup + cost.pcie_transfer_cycles(4096));
+}
+
+TEST_F(PcieLinkTest, CountsBytesAndTransfers) {
+  PcieLink link(cost);
+  Cycles wait = 0;
+  link.transfer(PcieDir::kHostToDevice, 0, 4096, &wait);
+  link.transfer(PcieDir::kHostToDevice, 0, 65536, &wait);
+  link.transfer(PcieDir::kDeviceToHost, 0, 4096, &wait);
+  EXPECT_EQ(link.bytes_moved(PcieDir::kHostToDevice), 4096u + 65536u);
+  EXPECT_EQ(link.bytes_moved(PcieDir::kDeviceToHost), 4096u);
+  EXPECT_EQ(link.transfers(PcieDir::kHostToDevice), 2u);
+  EXPECT_EQ(link.transfers(PcieDir::kDeviceToHost), 1u);
+}
+
+TEST_F(PcieLinkTest, ResetClearsState) {
+  PcieLink link(cost);
+  Cycles wait = 0;
+  link.transfer(PcieDir::kHostToDevice, 0, 4096, &wait);
+  link.reset();
+  EXPECT_EQ(link.bytes_moved(PcieDir::kHostToDevice), 0u);
+  const Cycles done = link.transfer(PcieDir::kHostToDevice, 0, 4096, &wait);
+  EXPECT_EQ(wait, 0u);
+  EXPECT_EQ(done, cost.pcie_setup + cost.pcie_transfer_cycles(4096));
+}
+
+TEST_F(PcieLinkTest, LargerPagesMoveProportionallyMoreData) {
+  // 2 MB moves 512x the bytes of 4 kB: transfer time scales accordingly
+  // (setup excluded) — the page-size tradeoff of Fig. 10.
+  const Cycles t4k = cost.pcie_transfer_cycles(unit_bytes(PageSizeClass::k4K));
+  const Cycles t64k = cost.pcie_transfer_cycles(unit_bytes(PageSizeClass::k64K));
+  const Cycles t2m = cost.pcie_transfer_cycles(unit_bytes(PageSizeClass::k2M));
+  EXPECT_NEAR(static_cast<double>(t64k) / t4k, 16.0, 0.1);
+  EXPECT_NEAR(static_cast<double>(t2m) / t4k, 512.0, 1.0);
+}
+
+}  // namespace
+}  // namespace cmcp::sim

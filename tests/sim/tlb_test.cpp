@@ -1,0 +1,134 @@
+#include "sim/tlb.h"
+
+#include <gtest/gtest.h>
+
+namespace cmcp::sim {
+namespace {
+
+TEST(Tlb, MissThenHit) {
+  Tlb tlb(4);
+  EXPECT_FALSE(tlb.lookup(10));
+  tlb.insert(10);
+  EXPECT_TRUE(tlb.lookup(10));
+}
+
+TEST(Tlb, EvictsLruWhenFull) {
+  Tlb tlb(2);
+  tlb.insert(1);
+  tlb.insert(2);
+  tlb.insert(3);  // evicts 1
+  EXPECT_FALSE(tlb.lookup(1));
+  EXPECT_TRUE(tlb.lookup(2));
+  EXPECT_TRUE(tlb.lookup(3));
+}
+
+TEST(Tlb, LookupRefreshesRecency) {
+  Tlb tlb(2);
+  tlb.insert(1);
+  tlb.insert(2);
+  EXPECT_TRUE(tlb.lookup(1));  // 2 is now LRU
+  tlb.insert(3);               // evicts 2
+  EXPECT_TRUE(tlb.lookup(1));
+  EXPECT_FALSE(tlb.lookup(2));
+  EXPECT_TRUE(tlb.lookup(3));
+}
+
+TEST(Tlb, ReinsertRefreshesWithoutDuplicating) {
+  Tlb tlb(2);
+  tlb.insert(1);
+  tlb.insert(2);
+  tlb.insert(1);  // already present: refresh, no eviction
+  EXPECT_EQ(tlb.occupancy(), 2u);
+  tlb.insert(3);  // evicts 2 (LRU), not 1
+  EXPECT_TRUE(tlb.lookup(1));
+  EXPECT_FALSE(tlb.lookup(2));
+}
+
+TEST(Tlb, InvalidateRemovesEntry) {
+  Tlb tlb(4);
+  tlb.insert(5);
+  EXPECT_TRUE(tlb.invalidate(5));
+  EXPECT_FALSE(tlb.lookup(5));
+  EXPECT_FALSE(tlb.invalidate(5));  // already gone
+  EXPECT_EQ(tlb.occupancy(), 0u);
+}
+
+TEST(Tlb, InvalidateFreesSlotForReuse) {
+  Tlb tlb(2);
+  tlb.insert(1);
+  tlb.insert(2);
+  tlb.invalidate(1);
+  tlb.insert(3);  // uses the freed slot: 2 must survive
+  EXPECT_TRUE(tlb.lookup(2));
+  EXPECT_TRUE(tlb.lookup(3));
+}
+
+TEST(Tlb, FlushDropsEverything) {
+  Tlb tlb(8);
+  for (UnitIdx u = 0; u < 8; ++u) tlb.insert(u);
+  tlb.flush();
+  EXPECT_EQ(tlb.occupancy(), 0u);
+  for (UnitIdx u = 0; u < 8; ++u) EXPECT_FALSE(tlb.lookup(u));
+  // Still fully usable after flush.
+  tlb.insert(42);
+  EXPECT_TRUE(tlb.lookup(42));
+}
+
+TEST(Tlb, CapacityOneDegenerate) {
+  Tlb tlb(1);
+  tlb.insert(1);
+  EXPECT_TRUE(tlb.lookup(1));
+  tlb.insert(2);
+  EXPECT_FALSE(tlb.lookup(1));
+  EXPECT_TRUE(tlb.lookup(2));
+}
+
+// Property: under any operation sequence, occupancy never exceeds capacity
+// and lookups reflect the most recent insert/invalidate for each unit.
+TEST(TlbProperty, StressAgainstReferenceModel) {
+  const std::uint32_t kCapacity = 8;
+  Tlb tlb(kCapacity);
+  std::uint64_t state = 12345;
+  const auto next = [&state] {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    return state >> 33;
+  };
+  for (int i = 0; i < 20000; ++i) {
+    const UnitIdx unit = next() % 32;
+    switch (next() % 3) {
+      case 0:
+        tlb.insert(unit);
+        EXPECT_TRUE(tlb.lookup(unit));
+        break;
+      case 1:
+        tlb.lookup(unit);
+        break;
+      case 2:
+        tlb.invalidate(unit);
+        EXPECT_FALSE(tlb.lookup(unit));
+        break;
+    }
+    ASSERT_LE(tlb.occupancy(), kCapacity);
+  }
+}
+
+struct TlbConfigCase {
+  PageSizeClass size;
+  std::uint32_t expected;
+};
+
+class TlbConfigTest : public ::testing::TestWithParam<TlbConfigCase> {};
+
+TEST_P(TlbConfigTest, EntriesPerSizeClass) {
+  const TlbConfig config;
+  EXPECT_EQ(config.entries_for(GetParam().size), GetParam().expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSizes, TlbConfigTest,
+    ::testing::Values(TlbConfigCase{PageSizeClass::k4K, 64},
+                      TlbConfigCase{PageSizeClass::k64K, 32},
+                      TlbConfigCase{PageSizeClass::k2M, 8}));
+
+}  // namespace
+}  // namespace cmcp::sim

@@ -1,0 +1,75 @@
+// Shared test scaffolding: a fake PolicyHost and a page factory so policy
+// unit tests can drive replacement logic without a machine or page tables.
+#pragma once
+
+#include <deque>
+
+#include "mm/page_registry.h"
+#include "policy/replacement_policy.h"
+
+namespace cmcp::testing {
+
+class FakePolicyHost final : public policy::PolicyHost {
+ public:
+  FakePolicyHost(std::uint64_t capacity, unsigned cores)
+      : capacity_(capacity), cores_(cores) {}
+
+  std::uint64_t capacity_units() const override { return capacity_; }
+  unsigned num_cores() const override { return cores_; }
+
+  bool unit_accessed(const mm::ResidentPage& page) const override {
+    return page.unit < accessed_.size() && accessed_[page.unit];
+  }
+
+  Cycles core_clock(CoreId /*core*/) const override { return 0; }
+
+  Cycles clear_accessed_and_shootdown(mm::ResidentPage& page,
+                                      CoreId /*initiator*/,
+                                      Cycles /*now*/) override {
+    if (page.unit < accessed_.size() && accessed_[page.unit]) {
+      accessed_[page.unit] = false;
+      ++shootdowns_;
+      return shootdown_cost;
+    }
+    return 0;
+  }
+
+  void set_accessed(UnitIdx unit, bool value = true) {
+    if (unit >= accessed_.size()) accessed_.resize(unit + 1, false);
+    accessed_[unit] = value;
+  }
+
+  std::uint64_t shootdowns() const { return shootdowns_; }
+
+  Cycles shootdown_cost = 1000;
+
+ private:
+  std::uint64_t capacity_;
+  unsigned cores_;
+  std::deque<bool> accessed_;
+  std::uint64_t shootdowns_ = 0;
+};
+
+/// Owns ResidentPage objects for policy tests (pointer-stable).
+class PageFactory {
+ public:
+  mm::ResidentPage& make(UnitIdx unit, unsigned core_map_count = 1) {
+    mm::ResidentPage& pg = registry_.insert(unit, next_pfn_++, /*now=*/0);
+    pg.core_map_count = core_map_count;
+    return pg;
+  }
+
+  mm::PageRegistry& registry() { return registry_; }
+
+ private:
+  mm::PageRegistry registry_;
+  Pfn next_pfn_ = 0;
+};
+
+/// Run a policy through an access trace with the given capacity, evicting
+/// via pick_victim when full. Returns the number of "faults" (insertions).
+std::uint64_t run_trace(policy::ReplacementPolicy& policy, PageFactory& pages,
+                        const std::vector<UnitIdx>& trace,
+                        std::uint64_t capacity);
+
+}  // namespace cmcp::testing

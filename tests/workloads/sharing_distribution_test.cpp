@@ -1,0 +1,104 @@
+// Fig. 6 reproduction at test scale: the page-sharing distributions the
+// CMCP heuristic relies on. Unconstrained PSPT runs; the histogram comes
+// straight out of the per-core page tables, as in the paper.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/simulation.h"
+#include "workloads/workload_factory.h"
+
+namespace cmcp::wl {
+namespace {
+
+struct Dist {
+  std::vector<double> frac;  // frac[c] = share of pages mapped by c cores
+  double at(std::size_t c) const { return c < frac.size() ? frac[c] : 0.0; }
+  double at_most(std::size_t c) const {
+    double sum = 0;
+    for (std::size_t i = 1; i <= c && i < frac.size(); ++i) sum += frac[i];
+    return sum;
+  }
+};
+
+Dist sharing_for(PaperWorkload which, CoreId cores) {
+  WorkloadParams params;
+  params.cores = cores;
+  // Test scale. Not smaller: with tiny per-core blocks the halo and
+  // exchange structures degenerate and the tails vanish.
+  params.scale = 0.5;
+  const auto w = make_paper_workload(which, params);
+  core::SimulationConfig config;
+  config.machine.num_cores = cores;
+  config.preload = true;
+  const auto result = core::run_simulation(config, *w);
+  const double total = std::accumulate(result.sharing_histogram.begin(),
+                                       result.sharing_histogram.end(), 0.0);
+  Dist d;
+  d.frac.resize(result.sharing_histogram.size());
+  for (std::size_t i = 0; i < d.frac.size(); ++i)
+    d.frac[i] = result.sharing_histogram[i] / total;
+  return d;
+}
+
+class SharingTest : public ::testing::TestWithParam<CoreId> {};
+
+TEST_P(SharingTest, CgMajorityPrivateRestTwoCores) {
+  // Fig. 6a: "over 50% of the pages are core private. Furthermore the
+  // remaining pages are mainly shared by only two cores."
+  const Dist d = sharing_for(PaperWorkload::kCg, GetParam());
+  EXPECT_GT(d.at(1), 0.5);
+  EXPECT_GT(d.at(2), 0.2);
+  EXPECT_GT(d.at(1) + d.at(2), 0.9);
+}
+
+TEST_P(SharingTest, ScaleMajorityPrivateRestTwoCores) {
+  // Fig. 6d: stencil — same structure as CG.
+  const Dist d = sharing_for(PaperWorkload::kScale, GetParam());
+  EXPECT_GT(d.at(1), 0.5);
+  EXPECT_GT(d.at(1) + d.at(2), 0.9);
+}
+
+TEST_P(SharingTest, LuLessRegularButMajorityAtMostThree) {
+  // Fig. 6b: "LU and BT show somewhat less regular pattern, nevertheless,
+  // the majority of pages are still mapped by only less than six cores and
+  // over half of them are mapped by at most three."
+  const Dist d = sharing_for(PaperWorkload::kLu, GetParam());
+  EXPECT_GT(d.at_most(3), 0.5);
+  EXPECT_GT(d.at_most(5), 0.9);
+  // Less regular than CG: a real 3+ population exists.
+  EXPECT_GT(1.0 - d.at(1) - d.at(2), 0.02);
+}
+
+TEST_P(SharingTest, BtFlattestDistribution) {
+  const Dist d = sharing_for(PaperWorkload::kBt, GetParam());
+  EXPECT_GT(d.at_most(3), 0.5);
+  EXPECT_GT(1.0 - d.at(1) - d.at(2), 0.05);
+  // Still overwhelmingly <= 6 cores.
+  EXPECT_GT(d.at_most(6), 0.9);
+}
+
+TEST_P(SharingTest, NoUnmappedResidentPages) {
+  const Dist d = sharing_for(PaperWorkload::kCg, GetParam());
+  EXPECT_DOUBLE_EQ(d.at(0), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(CoreCounts, SharingTest, ::testing::Values(8, 16, 32),
+                         [](const auto& info) {
+                           return "cores" + std::to_string(info.param);
+                         });
+
+TEST(SharingShape, CgIsMorePrivateThanBt) {
+  const Dist cg = sharing_for(PaperWorkload::kCg, 16);
+  const Dist bt = sharing_for(PaperWorkload::kBt, 16);
+  EXPECT_GT(cg.at(1), bt.at(1));
+}
+
+TEST(SharingShape, ScaleIsMostPrivate) {
+  const Dist scale = sharing_for(PaperWorkload::kScale, 16);
+  const Dist lu = sharing_for(PaperWorkload::kLu, 16);
+  EXPECT_GT(scale.at(1), lu.at(1));
+}
+
+}  // namespace
+}  // namespace cmcp::wl

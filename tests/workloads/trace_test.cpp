@@ -1,0 +1,116 @@
+#include "workloads/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/simulation.h"
+#include "workloads/stencil.h"
+#include "workloads/workload_factory.h"
+
+namespace cmcp::wl {
+namespace {
+
+std::unique_ptr<Workload> small_workload() {
+  WorkloadParams params;
+  params.cores = 4;
+  params.scale = 0.05;
+  return make_paper_workload(PaperWorkload::kScale, params);
+}
+
+TEST(Trace, RoundTripPreservesEveryOp) {
+  const auto original = small_workload();
+  std::stringstream buffer;
+  write_trace(*original, buffer);
+  const auto replay = TraceWorkload::parse(buffer);
+
+  ASSERT_EQ(replay->num_cores(), original->num_cores());
+  EXPECT_EQ(replay->footprint_base_pages(), original->footprint_base_pages());
+  for (CoreId c = 0; c < original->num_cores(); ++c) {
+    auto a = original->make_stream(c);
+    auto b = replay->make_stream(c);
+    for (;;) {
+      const Op oa = a->next();
+      const Op ob = b->next();
+      ASSERT_EQ(oa.kind, ob.kind) << "core " << c;
+      if (oa.kind == OpKind::kEnd) break;
+      ASSERT_EQ(oa.vpn, ob.vpn);
+      ASSERT_EQ(oa.count, ob.count);
+      ASSERT_EQ(oa.stride, ob.stride);
+      ASSERT_EQ(oa.repeat, ob.repeat);
+      ASSERT_EQ(oa.write, ob.write);
+      ASSERT_EQ(oa.cycles, ob.cycles);
+    }
+  }
+}
+
+TEST(Trace, ReplayedSimulationBitIdentical) {
+  const auto original = small_workload();
+  std::stringstream buffer;
+  write_trace(*original, buffer);
+  const auto replay = TraceWorkload::parse(buffer);
+
+  core::SimulationConfig config;
+  config.machine.num_cores = 4;
+  config.memory_fraction = 0.5;
+  const auto a = core::run_simulation(config, *original);
+  const auto b = core::run_simulation(config, *replay);
+  EXPECT_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.app_total.major_faults, b.app_total.major_faults);
+  EXPECT_EQ(a.app_total.remote_invalidations_received,
+            b.app_total.remote_invalidations_received);
+}
+
+TEST(Trace, SyscallsSurviveRoundTrip) {
+  StencilParams params;
+  params.base.cores = 2;
+  params.base.scale = 0.05;
+  params.io_bytes_per_step = 4096;
+  StencilWorkload original(params);
+  std::stringstream buffer;
+  write_trace(original, buffer);
+  const auto replay = TraceWorkload::parse(buffer);
+  auto stream = replay->make_stream(0);
+  bool saw_syscall = false;
+  for (;;) {
+    const Op op = stream->next();
+    if (op.kind == OpKind::kEnd) break;
+    if (op.kind == OpKind::kSyscall) {
+      saw_syscall = true;
+      EXPECT_EQ(op.count, 4096u);
+    }
+  }
+  EXPECT_TRUE(saw_syscall);
+}
+
+TEST(Trace, CommentsAndBlankLinesIgnored) {
+  std::stringstream in(
+      "cmcp-trace v1\n"
+      "# a comment\n"
+      "cores 1\n"
+      "\n"
+      "pages 10\n"
+      "core 0\n"
+      "a 3 2 1 1 w 100\n"
+      "b\n");
+  const auto trace = TraceWorkload::parse(in);
+  auto stream = trace->make_stream(0);
+  EXPECT_EQ(stream->next().kind, OpKind::kAccess);
+  EXPECT_EQ(stream->next().kind, OpKind::kBarrier);
+  EXPECT_EQ(stream->next().kind, OpKind::kEnd);
+}
+
+TEST(TraceDeath, RejectsGarbage) {
+  std::stringstream bad_header("not a trace\n");
+  EXPECT_DEATH(TraceWorkload::parse(bad_header), "header");
+  std::stringstream no_cores("cmcp-trace v1\npages 10\n");
+  EXPECT_DEATH(TraceWorkload::parse(no_cores), "cores");
+  std::stringstream op_first("cmcp-trace v1\ncores 1\npages 5\na 1 1 1 1 r 0\n");
+  EXPECT_DEATH(TraceWorkload::parse(op_first), "before core");
+  std::stringstream bad_tag(
+      "cmcp-trace v1\ncores 1\npages 5\ncore 0\nz nonsense\n");
+  EXPECT_DEATH(TraceWorkload::parse(bad_tag), "unknown");
+}
+
+}  // namespace
+}  // namespace cmcp::wl

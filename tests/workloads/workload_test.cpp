@@ -1,0 +1,226 @@
+// Structural tests of the workload generators.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "workloads/partition_util.h"
+#include "workloads/synthetic.h"
+#include "workloads/workload_factory.h"
+
+namespace cmcp::wl {
+namespace {
+
+TEST(BlockPartition, CoversRangeWithoutOverlap) {
+  for (const std::uint64_t total : {100ull, 97ull, 8ull, 1000ull}) {
+    for (const CoreId cores : {1u, 3u, 8u, 56u}) {
+      std::uint64_t covered = 0;
+      std::uint64_t prev_end = 0;
+      for (CoreId c = 0; c < cores; ++c) {
+        const BlockRange r = block_partition(total, cores, c);
+        EXPECT_EQ(r.begin, prev_end);
+        prev_end = r.end;
+        covered += r.size();
+      }
+      EXPECT_EQ(prev_end, total);
+      EXPECT_EQ(covered, total);
+    }
+  }
+}
+
+TEST(JitteredBounds, MonotoneAndCovering) {
+  Rng rng(5);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto bounds = detail::jittered_bounds(1000, 8, 0.2, rng);
+    ASSERT_EQ(bounds.size(), 9u);
+    EXPECT_EQ(bounds.front(), 0u);
+    EXPECT_EQ(bounds.back(), 1000u);
+    for (std::size_t i = 1; i < bounds.size(); ++i)
+      EXPECT_GE(bounds[i], bounds[i - 1]);
+  }
+}
+
+TEST(JitteredBounds, ZeroJitterIsExactBlocks) {
+  Rng rng(5);
+  const auto bounds = detail::jittered_bounds(800, 8, 0.0, rng);
+  for (CoreId c = 0; c <= 8; ++c) EXPECT_EQ(bounds[c], c * 100u);
+}
+
+TEST(ExchangeRuns, PartitionCoversRegionExactlyOnce) {
+  detail::ExchangeConfig cfg;
+  cfg.phase_seed = 99;
+  const std::uint64_t region = 1003;
+  const CoreId cores = 7;
+  std::vector<unsigned> owners(region, 0);
+  for (CoreId c = 0; c < cores; ++c) {
+    for (const auto& [first, len] : detail::exchange_runs(region, cores, c, cfg))
+      for (std::uint64_t p = first; p < first + len; ++p) ++owners[p];
+  }
+  for (std::uint64_t p = 0; p < region; ++p)
+    EXPECT_EQ(owners[p], 1u) << "page " << p;
+}
+
+TEST(ExchangeRuns, SomeSegmentsAreDisplaced) {
+  detail::ExchangeConfig cfg;
+  cfg.phase_seed = 7;
+  cfg.exchange_fraction = 0.3;
+  std::uint64_t displaced = 0, total = 0;
+  const std::uint64_t region = 6400;
+  const CoreId cores = 8;
+  for (CoreId c = 0; c < cores; ++c) {
+    const auto nominal = block_partition(region, cores, c);
+    for (const auto& [first, len] : detail::exchange_runs(region, cores, c, cfg)) {
+      total += len;
+      if (first + len <= nominal.begin || first >= nominal.end) displaced += len;
+    }
+  }
+  EXPECT_EQ(total, region);
+  EXPECT_GT(displaced, region / 10);
+  EXPECT_LT(displaced, region / 2);
+}
+
+TEST(ExchangeRuns, DeterministicPerSeed) {
+  detail::ExchangeConfig cfg;
+  cfg.phase_seed = 3;
+  const auto a = detail::exchange_runs(1000, 8, 2, cfg);
+  const auto b = detail::exchange_runs(1000, 8, 2, cfg);
+  EXPECT_EQ(a, b);
+  cfg.phase_seed = 4;
+  EXPECT_NE(detail::exchange_runs(1000, 8, 2, cfg), a);
+}
+
+class PaperWorkloadTest : public ::testing::TestWithParam<PaperWorkload> {};
+
+TEST_P(PaperWorkloadTest, StreamsAreWellFormed) {
+  WorkloadParams params;
+  params.cores = 8;
+  params.scale = 0.1;
+  const auto w = make_paper_workload(GetParam(), params);
+  ASSERT_NE(w, nullptr);
+  EXPECT_EQ(w->num_cores(), 8u);
+  EXPECT_GT(w->footprint_base_pages(), 0u);
+
+  std::uint64_t barriers0 = 0;
+  for (CoreId c = 0; c < 8; ++c) {
+    auto stream = w->make_stream(c);
+    std::uint64_t ops = 0, barriers = 0;
+    for (;;) {
+      const Op op = stream->next();
+      if (op.kind == OpKind::kEnd) break;
+      ++ops;
+      ASSERT_LT(ops, 10'000'000u) << "runaway stream";
+      switch (op.kind) {
+        case OpKind::kAccess:
+          ASSERT_GT(op.count, 0u);
+          ASSERT_GT(op.repeat, 0);
+          // Every touched page inside the footprint.
+          ASSERT_LT(op.vpn + static_cast<Vpn>(op.count - 1) * op.stride,
+                    w->footprint_base_pages());
+          break;
+        case OpKind::kBarrier:
+          ++barriers;
+          break;
+        default:
+          break;
+      }
+    }
+    EXPECT_GT(ops, 0u) << "core " << c;
+    if (c == 0)
+      barriers0 = barriers;
+    else
+      EXPECT_EQ(barriers, barriers0) << "barrier count mismatch on core " << c;
+    // Exhausted stream keeps returning kEnd.
+    EXPECT_EQ(stream->next().kind, OpKind::kEnd);
+  }
+}
+
+TEST_P(PaperWorkloadTest, DeterministicForSameSeed) {
+  WorkloadParams params;
+  params.cores = 4;
+  params.scale = 0.05;
+  params.seed = 77;
+  const auto a = make_paper_workload(GetParam(), params);
+  const auto b = make_paper_workload(GetParam(), params);
+  for (CoreId c = 0; c < 4; ++c) {
+    auto sa = a->make_stream(c);
+    auto sb = b->make_stream(c);
+    for (;;) {
+      const Op oa = sa->next();
+      const Op ob = sb->next();
+      ASSERT_EQ(oa.kind, ob.kind);
+      ASSERT_EQ(oa.vpn, ob.vpn);
+      ASSERT_EQ(oa.count, ob.count);
+      if (oa.kind == OpKind::kEnd) break;
+    }
+  }
+}
+
+TEST_P(PaperWorkloadTest, BigSizeHasLargerFootprint) {
+  WorkloadParams params;
+  params.cores = 4;
+  const auto small = make_paper_workload(GetParam(), params, WorkloadSize::kSmall);
+  const auto big = make_paper_workload(GetParam(), params, WorkloadSize::kBig);
+  EXPECT_GT(big->footprint_base_pages(), 2 * small->footprint_base_pages());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPaperWorkloads, PaperWorkloadTest,
+                         ::testing::ValuesIn(kAllPaperWorkloads),
+                         [](const auto& info) {
+                           return std::string(to_string(info.param));
+                         });
+
+TEST(WorkloadFactory, PaperFractionsMatchSection54) {
+  EXPECT_DOUBLE_EQ(paper_memory_fraction(PaperWorkload::kBt), 0.64);
+  EXPECT_DOUBLE_EQ(paper_memory_fraction(PaperWorkload::kLu), 0.66);
+  EXPECT_DOUBLE_EQ(paper_memory_fraction(PaperWorkload::kCg), 0.37);
+  EXPECT_DOUBLE_EQ(paper_memory_fraction(PaperWorkload::kScale), 0.50);
+}
+
+TEST(WorkloadFactory, BestPMatchesSection56Shape) {
+  // "CG benefits the most from a low ratio, while in case of LU or SCALE
+  // high ratio appears to work better."
+  EXPECT_LT(paper_best_p(PaperWorkload::kCg), 0.3);
+  EXPECT_GT(paper_best_p(PaperWorkload::kLu), 0.5);
+  EXPECT_GT(paper_best_p(PaperWorkload::kScale), 0.5);
+}
+
+TEST(Adversarial, SharedRegionTouchedOnceThenPrivateRounds) {
+  AdversarialParams params;
+  params.base.cores = 4;
+  params.dead_shared_pages = 64;
+  params.private_pages_per_core = 16;
+  params.rounds = 3;
+  AdversarialWorkload w(params);
+  EXPECT_EQ(w.footprint_base_pages(), 64u + 4 * 16);
+  // Core 0's stream touches the shared region exactly once.
+  auto stream = w.make_stream(0);
+  std::uint64_t shared_touches = 0;
+  for (;;) {
+    const Op op = stream->next();
+    if (op.kind == OpKind::kEnd) break;
+    if (op.kind == OpKind::kAccess && op.vpn < 64) shared_touches += op.count;
+  }
+  EXPECT_EQ(shared_touches, 64u);
+}
+
+TEST(HotCold, SharedHotSliceIsTouchedByEveryCore) {
+  HotColdParams params;
+  params.base.cores = 4;
+  params.hot_pages = 64;
+  params.cold_pages = 128;
+  params.rounds = 2;
+  params.shared_hot_fraction = 0.25;
+  HotColdWorkload w(params);
+  for (CoreId c = 0; c < 4; ++c) {
+    auto stream = w.make_stream(c);
+    bool touched_shared = false;
+    for (;;) {
+      const Op op = stream->next();
+      if (op.kind == OpKind::kEnd) break;
+      if (op.kind == OpKind::kAccess && op.vpn == 0) touched_shared = true;
+    }
+    EXPECT_TRUE(touched_shared) << "core " << c;
+  }
+}
+
+}  // namespace
+}  // namespace cmcp::wl

@@ -1,0 +1,218 @@
+// cmcp_sim — command-line front end for single simulation runs.
+//
+//   cmcp_sim --workload bt --cores 56 --policy cmcp --p 0.9 \
+//            --fraction 0.64 --page-size 4k [--pt pspt] [--seed 42]
+//            [--size small|big] [--prefetch N] [--hw-tlb] [--preload]
+//            [--csv out.csv]
+//
+// Prints the run's headline observables; with --csv appends one row (with
+// header when creating the file) for scripting sweeps.
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <optional>
+#include <string>
+
+#include "cmcp.h"
+
+namespace {
+
+using namespace cmcp;
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [options]\n"
+      "  --workload bt|lu|cg|scale   (default bt)\n"
+      "  --size small|big            footprint class (default small)\n"
+      "  --cores N                   simulated cores (default 56)\n"
+      "  --policy fifo|lru|cmcp|clock|lfu|random|cmcp-dyn|arc (default cmcp)\n"
+      "  --p X                       CMCP prioritized ratio (default per workload)\n"
+      "  --pt pspt|regular           page tables (default pspt)\n"
+      "  --fraction X                memory provided / footprint (default paper)\n"
+      "  --page-size 4k|64k|2m       (default 4k)\n"
+      "  --prefetch N                sequential readahead degree (default 0)\n"
+      "  --scan-ms X                 LRU scan period in ms (default 10)\n"
+      "  --hw-tlb                    hypothetical TLB directory hardware\n"
+      "  --preload                   no-data-movement baseline\n"
+      "  --seed N                    workload seed (default 1234)\n"
+      "  --csv FILE                  append results as CSV\n"
+      "  --dump-trace FILE           write the workload's access trace\n"
+      "  --replay-trace FILE         run a recorded trace instead\n",
+      argv0);
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace cmcp;
+
+  wl::PaperWorkload workload_kind = wl::PaperWorkload::kBt;
+  wl::WorkloadSize size = wl::WorkloadSize::kSmall;
+  core::SimulationConfig config;
+  config.machine.num_cores = 56;
+  config.policy.kind = PolicyKind::kCmcp;
+  double fraction = -1.0;
+  double p = -1.0;
+  std::uint64_t seed = 1234;
+  std::optional<std::string> csv_path;
+  std::optional<std::string> dump_trace;
+  std::optional<std::string> replay_trace;
+
+  const auto need_value = [&](int& i) -> const char* {
+    if (i + 1 >= argc) usage(argv[0]);
+    return argv[++i];
+  };
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--workload") {
+      const std::string_view v = need_value(i);
+      bool found = false;
+      for (const auto candidate : wl::kAllPaperWorkloads)
+        if (to_string(candidate) == v) {
+          workload_kind = candidate;
+          found = true;
+        }
+      if (!found) usage(argv[0]);
+    } else if (arg == "--size") {
+      const std::string_view v = need_value(i);
+      if (v == "small")
+        size = wl::WorkloadSize::kSmall;
+      else if (v == "big")
+        size = wl::WorkloadSize::kBig;
+      else
+        usage(argv[0]);
+    } else if (arg == "--cores") {
+      config.machine.num_cores = static_cast<CoreId>(std::atoi(need_value(i)));
+    } else if (arg == "--policy") {
+      const std::string_view v = need_value(i);
+      if (v == "fifo") config.policy.kind = PolicyKind::kFifo;
+      else if (v == "lru") config.policy.kind = PolicyKind::kLru;
+      else if (v == "cmcp") config.policy.kind = PolicyKind::kCmcp;
+      else if (v == "clock") config.policy.kind = PolicyKind::kClock;
+      else if (v == "lfu") config.policy.kind = PolicyKind::kLfu;
+      else if (v == "random") config.policy.kind = PolicyKind::kRandom;
+      else if (v == "cmcp-dyn") config.policy.kind = PolicyKind::kCmcpDynamicP;
+      else if (v == "arc") config.policy.kind = PolicyKind::kArc;
+      else usage(argv[0]);
+    } else if (arg == "--p") {
+      p = std::atof(need_value(i));
+    } else if (arg == "--pt") {
+      const std::string_view v = need_value(i);
+      if (v == "pspt") config.pt_kind = PageTableKind::kPspt;
+      else if (v == "regular") config.pt_kind = PageTableKind::kRegular;
+      else usage(argv[0]);
+    } else if (arg == "--fraction") {
+      fraction = std::atof(need_value(i));
+    } else if (arg == "--page-size") {
+      const std::string_view v = need_value(i);
+      if (v == "4k") config.machine.page_size = PageSizeClass::k4K;
+      else if (v == "64k") config.machine.page_size = PageSizeClass::k64K;
+      else if (v == "2m") config.machine.page_size = PageSizeClass::k2M;
+      else usage(argv[0]);
+    } else if (arg == "--prefetch") {
+      config.prefetch_degree = static_cast<unsigned>(std::atoi(need_value(i)));
+    } else if (arg == "--scan-ms") {
+      config.machine.cost.scan_period = static_cast<Cycles>(
+          std::atof(need_value(i)) * 1e6 * config.machine.cost.clock_ghz);
+    } else if (arg == "--hw-tlb") {
+      config.machine.tlb_coherence = sim::TlbCoherence::kHardwareDirectory;
+    } else if (arg == "--preload") {
+      config.preload = true;
+    } else if (arg == "--seed") {
+      seed = static_cast<std::uint64_t>(std::atoll(need_value(i)));
+    } else if (arg == "--csv") {
+      csv_path = need_value(i);
+    } else if (arg == "--dump-trace") {
+      dump_trace = need_value(i);
+    } else if (arg == "--replay-trace") {
+      replay_trace = need_value(i);
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+    } else {
+      std::fprintf(stderr, "unknown option: %s\n", argv[i]);
+      usage(argv[0]);
+    }
+  }
+
+  config.memory_fraction =
+      fraction > 0 ? fraction : wl::paper_memory_fraction(workload_kind);
+  config.policy.cmcp.p = p >= 0 ? p : wl::paper_best_p(workload_kind);
+  config.policy.dynamic_p.cmcp.p = config.policy.cmcp.p;
+
+  std::unique_ptr<wl::Workload> workload;
+  if (replay_trace) {
+    workload = wl::TraceWorkload::load(*replay_trace);
+    config.machine.num_cores = workload->num_cores();
+  } else {
+    wl::WorkloadParams params;
+    params.cores = config.machine.num_cores;
+    params.seed = seed;
+    workload = wl::make_paper_workload(workload_kind, params, size);
+  }
+  if (dump_trace) {
+    wl::save_trace(*workload, *dump_trace);
+    std::printf("trace           : written to %s\n", dump_trace->c_str());
+  }
+  const auto result = core::run_simulation(config, *workload);
+
+  const double seconds =
+      metrics::cycles_to_seconds(result.makespan, config.machine.cost);
+  std::printf("workload        : %s.%s, %u cores, seed %llu\n",
+              std::string(to_string(workload_kind)).c_str(),
+              std::string(size_suffix(size)).c_str(), config.machine.num_cores,
+              static_cast<unsigned long long>(seed));
+  std::printf("config          : %s + %s, %s pages, %.0f%% memory%s%s\n",
+              std::string(to_string(config.pt_kind)).c_str(),
+              std::string(to_string(config.policy.kind)).c_str(),
+              std::string(to_string(config.machine.page_size)).c_str(),
+              100.0 * config.memory_fraction,
+              config.preload ? ", preloaded" : "",
+              config.machine.tlb_coherence == sim::TlbCoherence::kHardwareDirectory
+                  ? ", hw TLB directory"
+                  : "");
+  std::printf("runtime         : %llu cycles (%.3f s at %.3f GHz)\n",
+              static_cast<unsigned long long>(result.makespan), seconds,
+              config.machine.cost.clock_ghz);
+  std::printf("major faults    : %llu (%.0f per core)\n",
+              static_cast<unsigned long long>(result.app_total.major_faults),
+              result.avg_major_faults_per_core());
+  std::printf("minor faults    : %llu\n",
+              static_cast<unsigned long long>(result.app_total.minor_faults));
+  std::printf("remote invals   : %llu (%.0f per core)\n",
+              static_cast<unsigned long long>(
+                  result.app_total.remote_invalidations_received),
+              result.avg_remote_invalidations_per_core());
+  std::printf("dTLB misses     : %llu\n",
+              static_cast<unsigned long long>(result.app_total.dtlb_misses));
+  std::printf("PCIe moved      : %.2f GB in, %.2f GB out\n",
+              result.app_total.pcie_bytes_in / 1e9,
+              result.app_total.pcie_bytes_out / 1e9);
+  if (result.app_total.prefetches > 0)
+    std::printf("prefetches      : %llu issued, %llu hit\n",
+                static_cast<unsigned long long>(result.app_total.prefetches),
+                static_cast<unsigned long long>(result.app_total.prefetch_hits));
+
+  if (csv_path) {
+    const bool fresh = !std::filesystem::exists(*csv_path);
+    std::ofstream out(*csv_path, std::ios::app);
+    if (fresh)
+      out << "workload,size,cores,pt,policy,p,page_size,fraction,preload,"
+             "seed,makespan,major_faults,minor_faults,remote_invals,"
+             "dtlb_misses,pcie_bytes_in,pcie_bytes_out\n";
+    out << to_string(workload_kind) << ',' << size_suffix(size) << ','
+        << config.machine.num_cores << ',' << to_string(config.pt_kind) << ','
+        << to_string(config.policy.kind) << ',' << config.policy.cmcp.p << ','
+        << to_string(config.machine.page_size) << ',' << config.memory_fraction
+        << ',' << config.preload << ',' << seed << ',' << result.makespan << ','
+        << result.app_total.major_faults << ',' << result.app_total.minor_faults
+        << ',' << result.app_total.remote_invalidations_received << ','
+        << result.app_total.dtlb_misses << ',' << result.app_total.pcie_bytes_in
+        << ',' << result.app_total.pcie_bytes_out << '\n';
+    std::printf("csv             : appended to %s\n", csv_path->c_str());
+  }
+  return 0;
+}
