@@ -6,15 +6,18 @@
 //   * mm/*                   — page tables (regular / PSPT), frames, pages
 //   * sim/*                  — the many-core machine model and cost model
 //   * workloads/*            — the paper's four workloads + synthetics
-//   * metrics/*              — counters, tables, experiment runner
+//   * metrics/*              — counters, tables, results, experiment runner
+//   * sim/trace.h            — structured event tracing + exporters
 #pragma once
 
 #include "core/memory_manager.h"
 #include "core/simulation.h"
 #include "metrics/experiment.h"
 #include "metrics/parallel_runner.h"
+#include "metrics/result_writer.h"
 #include "metrics/stats.h"
 #include "metrics/table.h"
+#include "sim/trace.h"
 #include "mm/phi64k.h"
 #include "policy/cmcp.h"
 #include "policy/policy_factory.h"

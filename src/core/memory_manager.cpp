@@ -95,6 +95,12 @@ Cycles MemoryManager::access(CoreId core, Vpn vpn, bool write, Cycles now) {
     fault_cycles += cost.pspt_lock_hold;
   }
 
+  sim::trace::EventSink* const tr = machine_.trace();
+  bool was_major = false;
+  std::uint64_t trace_map_count = 0;
+  std::uint64_t trace_prefetch_hit = 0;
+  std::uint64_t trace_evicted = 0;
+
   mm::ResidentPage* page = registry_.find(unit);
   if (page != nullptr) {
     // Resident but not mapped by this core (PSPT private PTE miss, a
@@ -109,20 +115,24 @@ Cycles MemoryManager::access(CoreId core, Vpn vpn, bool write, Cycles now) {
       if (page->ready_at > at) pcie_wait += page->ready_at - at;
       page->ready_at = 0;
       ++ctr.prefetch_hits;
+      trace_prefetch_hit = 1;
     }
     page_table_->map(core, unit, page->pfn);
     page->core_map_count = page_table_->core_map_count(unit);
+    trace_map_count = page->core_map_count;
     if (!pinned_) policy_->on_core_map_grow(*page);
   } else {
     // Major fault: the unit lives in host memory.
     CMCP_CHECK_MSG(!pinned_, "pinned run should never take a major fault");
     ++ctr.major_faults;
+    was_major = true;
 
     Pfn pfn = allocator_.allocate();
     if (pfn == kInvalidPfn) {
       fault_cycles += evict_one(core, now + mem_cycles + fault_cycles + lock_wait);
       pfn = allocator_.allocate();
       CMCP_CHECK(pfn != kInvalidPfn);
+      trace_evicted = 1;
     }
 
     // Fetch the unit's data from the host.
@@ -133,6 +143,9 @@ Cycles MemoryManager::access(CoreId core, Vpn vpn, bool write, Cycles now) {
         &queue_wait);
     pcie_wait += done - ready;
     ctr.pcie_bytes_in += unit_bytes(area_.page_size());
+    if (tr != nullptr)
+      tr->emit({sim::trace::EventKind::kPcieTransfer, core, ready, done - ready,
+                unit, 0, unit_bytes(area_.page_size()), queue_wait});
 
     mm::ResidentPage& fresh = registry_.insert(unit, pfn, now);
     page_table_->map(core, unit, pfn);
@@ -161,7 +174,16 @@ Cycles MemoryManager::access(CoreId core, Vpn vpn, bool write, Cycles now) {
   ctr.cycles_pcie_wait += pcie_wait;
   const Cycles mem_tail = cost.memory_access;
   ctr.cycles_mem += mem_tail;
-  return mem_cycles + fault_cycles + lock_wait + pcie_wait + mem_tail;
+  const Cycles total = mem_cycles + fault_cycles + lock_wait + pcie_wait + mem_tail;
+  if (tr != nullptr) {
+    if (was_major)
+      tr->emit({sim::trace::EventKind::kMajorFault, core, now, total, unit,
+                trace_evicted, pcie_wait, 0});
+    else
+      tr->emit({sim::trace::EventKind::kMinorFault, core, now, total, unit,
+                trace_map_count, trace_prefetch_hit, 0});
+  }
+  return total;
 }
 
 Cycles MemoryManager::prefetch_after(CoreId core, UnitIdx unit, Cycles now) {
@@ -184,6 +206,9 @@ Cycles MemoryManager::prefetch_after(CoreId core, UnitIdx unit, Cycles now) {
     const Cycles done = machine_.pcie().transfer(
         sim::PcieDir::kHostToDevice, now, unit_bytes(area_.page_size()),
         &queue_wait);
+    if (sim::trace::EventSink* tr = machine_.trace())
+      tr->emit({sim::trace::EventKind::kPcieTransfer, core, now, done - now,
+                next, 0, unit_bytes(area_.page_size()), queue_wait});
     mm::ResidentPage& pg = registry_.insert(next, pfn, now);
     pg.ready_at = done;
     pg.core_map_count = 0;  // no core maps it yet
@@ -217,10 +242,17 @@ Cycles MemoryManager::evict_one(CoreId faulting_core, Cycles now) {
   mm::ResidentPage* victim = policy_->pick_victim(faulting_core, cycles);
   CMCP_CHECK_MSG(victim != nullptr, "no victim with resident pages present");
 
+  sim::trace::EventSink* const tr = machine_.trace();
+  if (tr != nullptr)
+    tr->emit({sim::trace::EventKind::kVictimPick, faulting_core, now, cycles,
+              victim->unit, victim->core_map_count, 0, 0});
+
   const UnitIdx unit = victim->unit;
   const bool dirty = page_table_->test_dirty(unit);
+  std::uint64_t trace_targets = 0;
   if (page_table_->any_mapping(unit)) {
     const CoreMask affected = page_table_->unmap_all(unit);
+    trace_targets = affected.count();
     cycles += shootdown_unit(faulting_core, now + cycles, affected, unit);
   }
   // (Prefetched-but-never-touched units have no mappings to tear down.)
@@ -236,6 +268,10 @@ Cycles MemoryManager::evict_one(CoreId faulting_core, Cycles now) {
         &queue_wait);
     ctr.pcie_bytes_out += unit_bytes(area_.page_size());
     ++ctr.writebacks;
+    if (tr != nullptr)
+      tr->emit({sim::trace::EventKind::kPcieTransfer, faulting_core, ready,
+                done - ready, unit, 1, unit_bytes(area_.page_size()),
+                queue_wait});
     if (config_.async_writeback) {
       cycles += cost.policy_op;  // staging/queueing only
     } else {
@@ -248,6 +284,10 @@ Cycles MemoryManager::evict_one(CoreId faulting_core, Cycles now) {
   allocator_.free(victim->pfn);
   registry_.erase(*victim);
   ++ctr.evictions;
+  if (tr != nullptr)
+    tr->emit({sim::trace::EventKind::kEviction, faulting_core, now, cycles,
+              unit, dirty ? 1u : 0u, trace_targets,
+              dirty ? unit_bytes(area_.page_size()) : 0});
   return cycles;
 }
 
@@ -285,10 +325,14 @@ void MemoryManager::run_periodic(Cycles watermark) {
       Cycles read_cycles = 0;
       const unsigned sub_entries =
           area_.page_size() == PageSizeClass::k64K ? 16u : 1u;
+      std::uint64_t scanned = 0;
+      std::uint64_t cleared = 0;
+      std::uint64_t flush_rounds = 0;
       std::vector<sim::Machine::BatchItem> flush;
       flush.reserve(cost.scanner_flush_batch);
       const auto flush_batch = [&] {
         if (flush.empty()) return;
+        ++flush_rounds;
         // One slot acquisition + one IPI round per run of cleared PTEs,
         // charged to the scanner's own clock as it happens so concurrent
         // shootdowns queue against a current timestamp.
@@ -297,10 +341,12 @@ void MemoryManager::run_periodic(Cycles watermark) {
         flush.clear();
       };
       registry_.for_each([&](mm::ResidentPage& pg) {
+        ++scanned;
         unsigned pte_reads = 0;
         const bool referenced = page_table_->test_accessed(pg.unit, &pte_reads);
         read_cycles += cost.scan_pte_read * std::max(1u, pte_reads) * sub_entries;
         if (referenced) {
+          ++cleared;
           const CoreMask targets = page_table_->mapping_cores(pg.unit);
           page_table_->clear_accessed(pg.unit);
           flush.push_back({pg.unit, targets});
@@ -312,6 +358,10 @@ void MemoryManager::run_periodic(Cycles watermark) {
       // PTE reads parallelize over the dedicated scanner hyperthreads.
       machine_.advance(scanner, read_cycles / std::max(1u, cost.scanner_threads));
       ++scans_completed_;
+      if (sim::trace::EventSink* tr = machine_.trace())
+        tr->emit({sim::trace::EventKind::kScanPass, scanner, tick_time,
+                  machine_.clock(scanner) - tick_time, kInvalidUnit, scanned,
+                  cleared, flush_rounds});
       // Timer ticks that fire while the scanner is still busy are skipped
       // (a periodic timer cannot re-enter its own handler); without this the
       // scan backlog would grow without bound under heavy shootdown load.

@@ -69,7 +69,12 @@ Simulation::Simulation(const SimulationConfig& config, const wl::Workload& workl
       workload_(workload),
       machine_(machine_config_for(config, workload)),
       area_(area_for(config, workload)),
-      mm_(machine_, area_, mm_config_for(config, area_)) {}
+      mm_(machine_, area_, mm_config_for(config, area_)) {
+  if (config_.trace != nullptr) {
+    config_.trace->set_num_app_cores(machine_.num_cores());
+    machine_.set_trace(config_.trace);
+  }
+}
 
 SimulationResult Simulation::run() {
   CMCP_CHECK_MSG(!ran_, "Simulation::run is single-use");
@@ -112,6 +117,9 @@ SimulationResult Simulation::run() {
     for (CoreId c = 0; c < n; ++c) {
       if (cores[c].state != CoreState::kAtBarrier) continue;
       machine_.counters(c).cycles_barrier += tmax - machine_.clock(c);
+      if (sim::trace::EventSink* tr = machine_.trace())
+        tr->emit({sim::trace::EventKind::kBarrierWait, c, machine_.clock(c),
+                  tmax - machine_.clock(c), kInvalidUnit, 0, 0, 0});
       machine_.set_clock(c, tmax);
       cores[c].state = CoreState::kRunning;
       heap.push({tmax, c});
@@ -182,10 +190,18 @@ SimulationResult Simulation::run() {
         const Cycles req_done = machine_.pcie().transfer(
             sim::PcieDir::kDeviceToHost, start,
             cost.syscall_message_bytes + op.count, &queue_wait);
+        if (sim::trace::EventSink* tr = machine_.trace())
+          tr->emit({sim::trace::EventKind::kPcieTransfer, core, start,
+                    req_done - start, kInvalidUnit, 1,
+                    cost.syscall_message_bytes + op.count, queue_wait});
         const Cycles host_done = req_done + cost.syscall_host_dispatch + op.cycles;
         const Cycles resp_done = machine_.pcie().transfer(
             sim::PcieDir::kHostToDevice, host_done, cost.syscall_message_bytes,
             &queue_wait);
+        if (sim::trace::EventSink* tr = machine_.trace())
+          tr->emit({sim::trace::EventKind::kPcieTransfer, core, host_done,
+                    resp_done - host_done, kInvalidUnit, 0,
+                    cost.syscall_message_bytes, queue_wait});
         ++ctr.syscalls;
         ctr.cycles_syscall += resp_done - machine_.clock(core);
         machine_.set_clock(core, resp_done);
@@ -221,6 +237,11 @@ SimulationResult Simulation::run() {
   result.capacity_units = mm_.capacity_units();
   result.scans = mm_.scans_completed();
   result.sharing_histogram = mm_.sharing_histogram();
+  const policy::ReplacementPolicy& pol = mm_.policy();
+  result.policy_name = std::string(pol.name());
+  pol.stats([&](std::string_view name, std::uint64_t value) {
+    result.policy_stats.emplace_back(std::string(name), value);
+  });
   return result;
 }
 

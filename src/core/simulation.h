@@ -9,6 +9,8 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "common/types.h"
@@ -45,6 +47,12 @@ struct SimulationConfig {
 
   /// Base of the computation area (2 MB aligned so all unit sizes fit).
   Vpn area_base_vpn = 0;
+
+  /// Structured event tracing: when non-null, every fault, victim pick,
+  /// eviction, shootdown, PCIe transfer, scanner pass and barrier wait is
+  /// recorded into this sink (non-owning). Null = tracing disabled; the
+  /// hot path then only pays a pointer test at each emit point.
+  sim::trace::EventSink* trace = nullptr;
 };
 
 struct SimulationResult {
@@ -52,6 +60,12 @@ struct SimulationResult {
   std::vector<metrics::CoreCounters> per_core;  ///< app cores only
   metrics::CoreCounters app_total;
   metrics::CoreCounters scanner;
+
+  /// Replacement-policy identity and its full statistics (collected through
+  /// policy::ReplacementPolicy::stats() at end of run), so exporters can
+  /// dump every policy counter without knowing the keys.
+  std::string policy_name;
+  std::vector<std::pair<std::string, std::uint64_t>> policy_stats;
 
   std::uint64_t footprint_units = 0;
   std::uint64_t capacity_units = 0;

@@ -14,17 +14,69 @@ std::string RunSpec::label() const {
   return ss.str();
 }
 
-core::SimulationConfig to_config(const RunSpec& spec) {
+core::SimulationConfig RunSpec::to_config() const {
   core::SimulationConfig config;
-  config.machine.num_cores = spec.cores;
-  config.machine.page_size = spec.page_size;
-  config.pt_kind = spec.pt_kind;
-  config.policy = spec.policy;
-  config.preload = spec.preload;
-  config.memory_fraction = spec.memory_fraction > 0.0
-                               ? spec.memory_fraction
-                               : wl::paper_memory_fraction(spec.workload);
+  config.machine.num_cores = cores;
+  config.machine.page_size = page_size;
+  config.pt_kind = pt_kind;
+  config.policy = policy;
+  config.preload = preload;
+  config.memory_fraction = memory_fraction > 0.0
+                               ? memory_fraction
+                               : wl::paper_memory_fraction(workload);
   return config;
+}
+
+core::SimulationConfig to_config(const RunSpec& spec) {
+  return spec.to_config();
+}
+
+namespace {
+
+std::string fmt_double_meta(double v) {
+  std::ostringstream ss;
+  ss << v;
+  return ss.str();
+}
+
+}  // namespace
+
+sim::trace::Metadata RunSpec::describe() const {
+  sim::trace::Metadata meta;
+  meta.emplace_back("workload", std::string(to_string(workload)));
+  meta.emplace_back("size", std::string(size_suffix(size)));
+  meta.emplace_back("cores", std::to_string(cores));
+  meta.emplace_back("pt_kind", std::string(to_string(pt_kind)));
+  meta.emplace_back("policy", std::string(to_string(policy.kind)));
+  meta.emplace_back("memory_fraction",
+                    fmt_double_meta(memory_fraction > 0.0
+                                        ? memory_fraction
+                                        : wl::paper_memory_fraction(workload)));
+  meta.emplace_back("preload", preload ? "true" : "false");
+  meta.emplace_back("page_size", std::string(to_string(page_size)));
+  meta.emplace_back("seed", std::to_string(seed));
+  meta.emplace_back("scale", fmt_double_meta(scale));
+  switch (policy.kind) {
+    case PolicyKind::kCmcp:
+      meta.emplace_back("cmcp_p", fmt_double_meta(policy.cmcp.p));
+      meta.emplace_back("cmcp_age_limit_ticks",
+                        std::to_string(policy.cmcp.age_limit_ticks));
+      meta.emplace_back("cmcp_aging",
+                        policy.cmcp.aging_enabled ? "true" : "false");
+      break;
+    case PolicyKind::kCmcpDynamicP:
+      meta.emplace_back("cmcp_p", fmt_double_meta(policy.dynamic_p.cmcp.p));
+      meta.emplace_back("dyn_step", fmt_double_meta(policy.dynamic_p.step));
+      meta.emplace_back("dyn_window_ticks",
+                        std::to_string(policy.dynamic_p.window_ticks));
+      break;
+    case PolicyKind::kRandom:
+      meta.emplace_back("random_seed", std::to_string(policy.random_seed));
+      break;
+    default:
+      break;
+  }
+  return meta;
 }
 
 core::SimulationResult run_spec(const RunSpec& spec) {
@@ -33,7 +85,37 @@ core::SimulationResult run_spec(const RunSpec& spec) {
   base.seed = spec.seed;
   if (spec.scale > 0.0) base.scale = spec.scale;
   const auto workload = wl::make_paper_workload(spec.workload, base, spec.size);
-  return core::run_simulation(to_config(spec), *workload);
+  if (spec.trace_path.empty())
+    return core::run_simulation(spec.to_config(), *workload);
+
+  sim::trace::EventSink sink;
+  core::SimulationConfig config = spec.to_config();
+  config.trace = &sink;
+  const auto result = core::run_simulation(config, *workload);
+  sim::trace::write_trace_file(sink, spec.describe(), result_summary(result),
+                               spec.trace_format, spec.trace_path);
+  return result;
+}
+
+sim::trace::Summary result_summary(const core::SimulationResult& result) {
+  sim::trace::Summary s;
+  s.emplace_back("makespan", result.makespan);
+  s.emplace_back("accesses", result.app_total.accesses);
+  s.emplace_back("dtlb_misses", result.app_total.dtlb_misses);
+  s.emplace_back("major_faults", result.app_total.major_faults);
+  s.emplace_back("minor_faults", result.app_total.minor_faults);
+  s.emplace_back("remote_invals",
+                 result.app_total.remote_invalidations_received);
+  s.emplace_back("evictions", result.app_total.evictions);
+  s.emplace_back("writebacks", result.app_total.writebacks);
+  s.emplace_back("pcie_bytes_in", result.app_total.pcie_bytes_in);
+  s.emplace_back("pcie_bytes_out", result.app_total.pcie_bytes_out);
+  s.emplace_back("scans", result.scans);
+  s.emplace_back("footprint_units", result.footprint_units);
+  s.emplace_back("capacity_units", result.capacity_units);
+  for (const auto& [name, value] : result.policy_stats)
+    s.emplace_back("policy." + name, value);
+  return s;
 }
 
 double relative_performance(const core::SimulationResult& baseline,

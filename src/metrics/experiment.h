@@ -4,8 +4,11 @@
 #pragma once
 
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "core/simulation.h"
+#include "sim/trace.h"
 #include "workloads/workload_factory.h"
 
 namespace cmcp::metrics {
@@ -25,13 +28,35 @@ struct RunSpec {
   /// Footprint multiplier override (0 = workload-size default).
   double scale = 0.0;
 
+  /// When non-empty, run_spec() records a structured event trace of the run
+  /// and exports it here in `trace_format` (see sim/trace.h).
+  std::string trace_path;
+  sim::trace::Format trace_format = sim::trace::Format::kPerfetto;
+
+  /// Human-oriented one-line summary (lossy; legends, progress lines).
   std::string label() const;
+
+  /// The full simulation configuration this spec denotes. Together with
+  /// describe(), a RunSpec round-trips: to_config() is the executable form,
+  /// describe() the serialized one.
+  core::SimulationConfig to_config() const;
+
+  /// Every field as ordered (name, value) pairs — the trace/JSON metadata
+  /// header, so an exported artifact records exactly which cell of which
+  /// figure produced it.
+  sim::trace::Metadata describe() const;
 };
 
 core::SimulationConfig to_config(const RunSpec& spec);
 
-/// Build the workload and run the full simulation for one spec.
+/// Build the workload and run the full simulation for one spec. When
+/// spec.trace_path is set, also records and exports the event trace.
 core::SimulationResult run_spec(const RunSpec& spec);
+
+/// Headline counters of a result as ordered (name, value) pairs, policy
+/// stats included under a "policy." prefix — the JSONL trace summary and
+/// the machine-readable exports share this one list.
+sim::trace::Summary result_summary(const core::SimulationResult& result);
 
 /// baseline runtime / run runtime — "relative performance" in the paper's
 /// figures (1.0 == as fast as the unconstrained baseline).

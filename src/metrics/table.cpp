@@ -1,6 +1,8 @@
 #include "metrics/table.h"
 
 #include <filesystem>
+
+#include "metrics/result_writer.h"
 #include <fstream>
 #include <ostream>
 #include <sstream>
@@ -48,25 +50,9 @@ void Table::to_markdown(std::ostream& os) const {
 }
 
 void Table::to_csv(std::ostream& os) const {
-  const auto emit = [&](const std::vector<std::string>& cells) {
-    for (std::size_t c = 0; c < cells.size(); ++c) {
-      if (c != 0) os << ',';
-      // Values are simple identifiers/numbers; quote only when needed.
-      if (cells[c].find_first_of(",\"\n") != std::string::npos) {
-        os << '"';
-        for (char ch : cells[c]) {
-          if (ch == '"') os << '"';
-          os << ch;
-        }
-        os << '"';
-      } else {
-        os << cells[c];
-      }
-    }
-    os << '\n';
-  };
-  emit(headers_);
-  for (const auto& row : rows_) emit(row);
+  // One CSV serialization path project-wide: ResultWriter owns the rules.
+  ResultWriter::write_csv_row(os, headers_);
+  for (const auto& row : rows_) ResultWriter::write_csv_row(os, row);
 }
 
 std::string Table::markdown() const {

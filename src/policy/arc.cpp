@@ -94,12 +94,15 @@ void ArcPolicy::on_evict(mm::ResidentPage& page) {
   }
 }
 
-std::uint64_t ArcPolicy::stat(std::string_view key) const {
-  if (key == "ghost_hits_b1") return ghost_hits_b1_;
-  if (key == "ghost_hits_b2") return ghost_hits_b2_;
-  if (key == "promotions") return promotions_;
-  if (key == "target") return static_cast<std::uint64_t>(target_);
-  return 0;
+void ArcPolicy::stats(const StatVisitor& visit) const {
+  visit("ghost_hits_b1", ghost_hits_b1_);
+  visit("ghost_hits_b2", ghost_hits_b2_);
+  visit("promotions", promotions_);
+  visit("target", static_cast<std::uint64_t>(target_));
+  visit("t1_size", t1_.size());
+  visit("t2_size", t2_.size());
+  visit("b1_size", b1_.size());
+  visit("b2_size", b2_.size());
 }
 
 }  // namespace cmcp::policy

@@ -36,7 +36,7 @@ class ArcPolicy final : public ReplacementPolicy {
   std::size_t b1_size() const { return b1_.size(); }
   std::size_t b2_size() const { return b2_.size(); }
   double target() const { return target_; }
-  std::uint64_t stat(std::string_view key) const override;
+  void stats(const StatVisitor& visit) const override;
 
  private:
   static constexpr std::uint8_t kT1 = 0;

@@ -21,9 +21,8 @@ class ClockPolicy : public ReplacementPolicy {
 
   void on_evict(mm::ResidentPage& page) override { ring_.erase(page); }
 
-  std::uint64_t stat(std::string_view key) const override {
-    if (key == "second_chances") return second_chances_;
-    return 0;
+  void stats(const StatVisitor& visit) const override {
+    visit("second_chances", second_chances_);
   }
 
  private:

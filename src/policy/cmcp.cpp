@@ -146,13 +146,12 @@ void CmcpPolicy::on_tick(Cycles /*now*/) {
   }
 }
 
-std::uint64_t CmcpPolicy::stat(std::string_view key) const {
-  if (key == "promotions") return promotions_;
-  if (key == "displacements") return displacements_;
-  if (key == "aged_out") return aged_out_;
-  if (key == "priority_size") return priority_size_;
-  if (key == "fifo_size") return fifo_.size();
-  return 0;
+void CmcpPolicy::stats(const StatVisitor& visit) const {
+  visit("promotions", promotions_);
+  visit("displacements", displacements_);
+  visit("aged_out", aged_out_);
+  visit("priority_size", priority_size_);
+  visit("fifo_size", fifo_.size());
 }
 
 }  // namespace cmcp::policy

@@ -55,7 +55,7 @@ class CmcpPolicy final : public ReplacementPolicy {
   std::size_t fifo_size() const { return fifo_.size(); }
   std::size_t priority_size() const { return priority_size_; }
   std::uint64_t max_priority_pages() const { return max_priority_; }
-  std::uint64_t stat(std::string_view key) const override;
+  void stats(const StatVisitor& visit) const override;
 
  private:
   static constexpr std::uint8_t kFifo = 0;

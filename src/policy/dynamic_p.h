@@ -41,10 +41,11 @@ class DynamicPCmcpPolicy final : public ReplacementPolicy {
   void on_tick(Cycles now) override;
 
   double current_p() const { return inner_.p(); }
-  std::uint64_t stat(std::string_view key) const override {
-    if (key == "adaptations") return adaptations_;
-    if (key == "p_permille") return static_cast<std::uint64_t>(inner_.p() * 1000.0);
-    return inner_.stat(key);
+  void stats(const StatVisitor& visit) const override {
+    // Inner CMCP stats first so the controller's own names win on clashes.
+    inner_.stats(visit);
+    visit("adaptations", adaptations_);
+    visit("p_permille", static_cast<std::uint64_t>(inner_.p() * 1000.0));
   }
 
  private:

@@ -47,12 +47,11 @@ void LruApproxPolicy::on_evict(mm::ResidentPage& page) {
   (page.where == kActive ? active_ : inactive_).erase(page);
 }
 
-std::uint64_t LruApproxPolicy::stat(std::string_view key) const {
-  if (key == "promotions") return promotions_;
-  if (key == "demotions") return demotions_;
-  if (key == "active") return active_.size();
-  if (key == "inactive") return inactive_.size();
-  return 0;
+void LruApproxPolicy::stats(const StatVisitor& visit) const {
+  visit("promotions", promotions_);
+  visit("demotions", demotions_);
+  visit("active", active_.size());
+  visit("inactive", inactive_.size());
 }
 
 }  // namespace cmcp::policy

@@ -28,7 +28,7 @@ class LruApproxPolicy final : public ReplacementPolicy {
 
   std::size_t active_size() const { return active_.size(); }
   std::size_t inactive_size() const { return inactive_.size(); }
-  std::uint64_t stat(std::string_view key) const override;
+  void stats(const StatVisitor& visit) const override;
 
  private:
   static constexpr std::uint8_t kInactive = 0;

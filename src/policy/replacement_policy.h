@@ -8,12 +8,18 @@
 // whoever triggered it.
 #pragma once
 
+#include <cstdint>
+#include <functional>
 #include <string_view>
 
 #include "common/types.h"
 #include "mm/page_registry.h"
 
 namespace cmcp::policy {
+
+/// Receives one (name, value) pair per policy statistic. Exporters use this
+/// to dump *all* stats of any policy without knowing its keys.
+using StatVisitor = std::function<void(std::string_view name, std::uint64_t value)>;
 
 /// Services the memory manager provides to policies.
 class PolicyHost {
@@ -80,10 +86,19 @@ class ReplacementPolicy {
   /// feedback). Runs even when wants_scanner() is false.
   virtual void on_tick(Cycles now) { (void)now; }
 
-  /// Policy-specific end-of-run statistic hooks (tests, benches).
-  virtual std::uint64_t stat(std::string_view key) const {
-    (void)key;
-    return 0;
+  /// Enumerate every policy-specific statistic as (name, value) pairs.
+  /// Policies without stats keep the empty default.
+  virtual void stats(const StatVisitor& visit) const { (void)visit; }
+
+  /// Single-key lookup shim over stats() (tests, quick probes). Unknown
+  /// keys return 0; duplicate names (wrapper policies) resolve to the last
+  /// emitted value.
+  std::uint64_t stat(std::string_view key) const {
+    std::uint64_t out = 0;
+    stats([&](std::string_view name, std::uint64_t value) {
+      if (name == key) out = value;
+    });
+    return out;
   }
 };
 

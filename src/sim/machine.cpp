@@ -25,7 +25,7 @@ Cycles Machine::shootdown(CoreId initiator, Cycles now, const CoreMask& targets,
   if (num_targets == 0 || units.empty()) return 0;
 
   if (config_.tlb_coherence == TlbCoherence::kHardwareDirectory)
-    return hw_invalidate(initiator, targets, units);
+    return hw_invalidate(initiator, now, targets, units);
 
   const ShootdownTiming t = interconnect_.shootdown(
       now, num_targets, static_cast<unsigned>(units.size()));
@@ -34,6 +34,16 @@ Cycles Machine::shootdown(CoreId initiator, Cycles now, const CoreMask& targets,
   ++init_ctr.shootdowns_initiated;
   init_ctr.cycles_lock_wait += t.lock_wait;
   init_ctr.cycles_shootdown += t.initiate + t.ack_wait;
+
+  if (trace_ != nullptr) {
+    trace_->emit({trace::EventKind::kShootdown, initiator, now,
+                  t.initiator_total(), units[0], num_targets, units.size(),
+                  t.lock_wait});
+    const Cycles acquired = now + t.lock_wait;
+    trace_->emit({trace::EventKind::kSlotHold, initiator, acquired,
+                  interconnect_.slot_busy_until() - acquired, units[0],
+                  num_targets, 0, 0});
+  }
 
   targets.for_each([&](CoreId target) {
     metrics::CoreCounters& ctr = counters_[target];
@@ -48,7 +58,8 @@ Cycles Machine::shootdown(CoreId initiator, Cycles now, const CoreMask& targets,
   return t.initiator_total();
 }
 
-Cycles Machine::hw_invalidate(CoreId initiator, const CoreMask& targets,
+Cycles Machine::hw_invalidate(CoreId initiator, Cycles now,
+                              const CoreMask& targets,
                               std::span<const UnitIdx> units) {
   // Directory hardware: the initiator issues one directed invalidation per
   // (unit, target); receivers lose the entry without being interrupted.
@@ -64,6 +75,9 @@ Cycles Machine::hw_invalidate(CoreId initiator, const CoreMask& targets,
     });
   }
   init_ctr.cycles_shootdown += cycles;
+  if (trace_ != nullptr)
+    trace_->emit({trace::EventKind::kShootdown, initiator, now, cycles,
+                  units[0], targets.count(), units.size(), 0});
   return cycles;
 }
 
@@ -82,7 +96,7 @@ Cycles Machine::shootdown_batch(CoreId initiator, Cycles now,
       CoreMask targets = item.targets;
       targets.clear(initiator);
       const std::array<UnitIdx, 1> unit = {item.unit};
-      cycles += hw_invalidate(initiator, targets, unit);
+      cycles += hw_invalidate(initiator, now, targets, unit);
     }
     return cycles;
   }
@@ -93,6 +107,13 @@ Cycles Machine::shootdown_batch(CoreId initiator, Cycles now,
   metrics::CoreCounters& init_ctr = counters_[initiator];
   ++init_ctr.shootdowns_initiated;
   init_ctr.cycles_lock_wait += t.lock_wait;
+
+  if (trace_ != nullptr) {
+    const Cycles acquired = now + t.lock_wait;
+    trace_->emit({trace::EventKind::kSlotHold, initiator, acquired,
+                  interconnect_.slot_busy_until() - acquired, kInvalidUnit,
+                  num_targets, 0, 0});
+  }
 
   Cycles slowest_receiver = 0;
   union_targets.for_each([&](CoreId target) {
@@ -114,6 +135,9 @@ Cycles Machine::shootdown_batch(CoreId initiator, Cycles now,
 
   const Cycles initiator_cost = t.lock_wait + t.initiate + slowest_receiver;
   init_ctr.cycles_shootdown += t.initiate + slowest_receiver;
+  if (trace_ != nullptr)
+    trace_->emit({trace::EventKind::kShootdown, initiator, now, initiator_cost,
+                  kInvalidUnit, num_targets, items.size(), t.lock_wait});
   return initiator_cost;
 }
 

@@ -18,6 +18,7 @@
 #include "sim/interconnect.h"
 #include "sim/pcie_link.h"
 #include "sim/tlb.h"
+#include "sim/trace.h"
 
 namespace cmcp::sim {
 
@@ -62,6 +63,11 @@ class Machine {
   PcieLink& pcie() { return pcie_; }
   Interconnect& interconnect() { return interconnect_; }
 
+  /// Attach/detach the structured event sink. Null (the default) disables
+  /// tracing; every emit point is then a single pointer test.
+  void set_trace(trace::EventSink* sink) { trace_ = sink; }
+  trace::EventSink* trace() const { return trace_; }
+
   /// Perform a remote TLB shootdown of `units` on all cores in `targets`
   /// (the initiator must not be in the mask). Invalidates the receivers'
   /// TLB entries, charges interrupt cost to the receivers, and returns the
@@ -87,7 +93,7 @@ class Machine {
 
  private:
   /// Directed invalidation via the hypothetical TLB directory hardware.
-  Cycles hw_invalidate(CoreId initiator, const CoreMask& targets,
+  Cycles hw_invalidate(CoreId initiator, Cycles now, const CoreMask& targets,
                        std::span<const UnitIdx> units);
 
   MachineConfig config_;
@@ -96,6 +102,7 @@ class Machine {
   std::vector<metrics::CoreCounters> counters_;
   PcieLink pcie_;
   Interconnect interconnect_;
+  trace::EventSink* trace_ = nullptr;  ///< non-owning; null = disabled
 };
 
 }  // namespace cmcp::sim

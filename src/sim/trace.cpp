@@ -1,0 +1,230 @@
+#include "sim/trace.h"
+
+#include <filesystem>
+#include <fstream>
+#include <ostream>
+
+#include "common/assert.h"
+
+namespace cmcp::sim::trace {
+
+namespace {
+
+/// JSON string escaping (quotes, backslash, control characters).
+void append_escaped(std::string& out, std::string_view text) {
+  for (const char ch : text) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          constexpr char hex[] = "0123456789abcdef";
+          out += "\\u00";
+          out += hex[(ch >> 4) & 0xf];
+          out += hex[ch & 0xf];
+        } else {
+          out += ch;
+        }
+    }
+  }
+}
+
+std::string json_quote(std::string_view text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  out += '"';
+  append_escaped(out, text);
+  out += '"';
+  return out;
+}
+
+/// Exporter track for an event: PCIe transfers and slot holds live on their
+/// dedicated tracks, everything else on the emitting core's track (the
+/// scanner pseudo-core id already equals scanner_track()).
+unsigned track_of(const EventSink& sink, const Event& event) {
+  switch (event.kind) {
+    case EventKind::kPcieTransfer:
+      return event.a == 0 ? sink.pcie_h2d_track() : sink.pcie_d2h_track();
+    case EventKind::kSlotHold:
+      return sink.slot_track();
+    default:
+      return event.core;
+  }
+}
+
+std::string track_name(const EventSink& sink, unsigned track) {
+  if (track < sink.num_app_cores()) return "core " + std::to_string(track);
+  if (track == sink.scanner_track()) return "scanner";
+  if (track == sink.pcie_h2d_track()) return "pcie host->device";
+  if (track == sink.pcie_d2h_track()) return "pcie device->host";
+  if (track == sink.slot_track()) return "invalidation slot";
+  return "track " + std::to_string(track);
+}
+
+void append_args(std::string& out, const Event& event) {
+  const auto names = arg_names(event.kind);
+  const std::uint64_t values[3] = {event.a, event.b, event.c};
+  out += '{';
+  bool first = true;
+  if (event.unit != kInvalidUnit) {
+    out += "\"unit\":" + std::to_string(event.unit);
+    first = false;
+  }
+  for (int i = 0; i < 3; ++i) {
+    if (names[i].empty()) continue;
+    if (!first) out += ',';
+    first = false;
+    out += json_quote(names[i]) + ':' + std::to_string(values[i]);
+  }
+  // kSlotHold/kPcieTransfer render off their home core; keep it recoverable.
+  if (event.kind == EventKind::kPcieTransfer || event.kind == EventKind::kSlotHold) {
+    if (!first) out += ',';
+    out += "\"core\":" + std::to_string(event.core);
+  }
+  out += '}';
+}
+
+}  // namespace
+
+std::string_view to_string(EventKind kind) {
+  switch (kind) {
+    case EventKind::kMinorFault: return "minor_fault";
+    case EventKind::kMajorFault: return "major_fault";
+    case EventKind::kVictimPick: return "victim_pick";
+    case EventKind::kEviction: return "eviction";
+    case EventKind::kShootdown: return "shootdown";
+    case EventKind::kSlotHold: return "slot_hold";
+    case EventKind::kPcieTransfer: return "pcie_transfer";
+    case EventKind::kScanPass: return "scan_pass";
+    case EventKind::kBarrierWait: return "barrier_wait";
+  }
+  return "?";
+}
+
+std::array<std::string_view, 3> arg_names(EventKind kind) {
+  switch (kind) {
+    case EventKind::kMinorFault: return {"core_map_count", "prefetch_hit", ""};
+    case EventKind::kMajorFault: return {"evicted", "pcie_wait", ""};
+    case EventKind::kVictimPick: return {"core_map_count", "", ""};
+    case EventKind::kEviction: return {"dirty", "targets", "writeback_bytes"};
+    case EventKind::kShootdown: return {"targets", "units", "slot_wait"};
+    case EventKind::kSlotHold: return {"targets", "", ""};
+    case EventKind::kPcieTransfer: return {"dir", "bytes", "queue_wait"};
+    case EventKind::kScanPass: return {"pages", "cleared", "flush_rounds"};
+    case EventKind::kBarrierWait: return {"", "", ""};
+  }
+  return {"", "", ""};
+}
+
+std::string_view to_string(Format format) {
+  return format == Format::kPerfetto ? "perfetto" : "jsonl";
+}
+
+bool parse_format(std::string_view text, Format* out) {
+  if (text == "perfetto") {
+    *out = Format::kPerfetto;
+    return true;
+  }
+  if (text == "jsonl") {
+    *out = Format::kJsonl;
+    return true;
+  }
+  return false;
+}
+
+void export_perfetto(const EventSink& sink, const Metadata& meta,
+                     std::ostream& os) {
+  os << "{\"traceEvents\":[\n";
+  std::string line;
+  // Thread-name metadata records: one per track, in track order.
+  const unsigned tracks = sink.num_app_cores() + 4;
+  for (unsigned t = 0; t < tracks; ++t) {
+    line.clear();
+    line += "{\"ph\":\"M\",\"pid\":1,\"tid\":" + std::to_string(t) +
+            ",\"name\":\"thread_name\",\"args\":{\"name\":" +
+            json_quote(track_name(sink, t)) + "}},\n";
+    os << line;
+  }
+  const auto& events = sink.events();
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const Event& e = events[i];
+    line.clear();
+    line += "{\"ph\":\"X\",\"pid\":1,\"tid\":" +
+            std::to_string(track_of(sink, e)) + ",\"name\":" +
+            json_quote(to_string(e.kind)) + ",\"ts\":" + std::to_string(e.start) +
+            ",\"dur\":" + std::to_string(e.duration) + ",\"args\":";
+    append_args(line, e);
+    line += '}';
+    if (i + 1 != events.size()) line += ',';
+    line += '\n';
+    os << line;
+  }
+  os << "],\n\"displayTimeUnit\":\"ms\",\n\"metadata\":{\"clock_unit\":"
+        "\"cycles\"";
+  for (const auto& [key, value] : meta)
+    os << ',' << json_quote(key) << ':' << json_quote(value);
+  os << "}}\n";
+}
+
+void export_jsonl(const EventSink& sink, const Metadata& meta,
+                  const Summary& summary, std::ostream& os) {
+  std::string line;
+  line += "{\"type\":\"meta\",\"schema\":1,\"clock_unit\":\"cycles\",\"cores\":" +
+          std::to_string(sink.num_app_cores()) + ",\"config\":{";
+  bool first = true;
+  for (const auto& [key, value] : meta) {
+    if (!first) line += ',';
+    first = false;
+    line += json_quote(key) + ':' + json_quote(value);
+  }
+  line += "}}\n";
+  os << line;
+
+  std::array<std::uint64_t, kNumEventKinds> by_kind{};
+  for (const Event& e : sink.events()) {
+    ++by_kind[static_cast<unsigned>(e.kind)];
+    line.clear();
+    line += "{\"type\":\"event\",\"kind\":" + json_quote(to_string(e.kind)) +
+            ",\"core\":" + std::to_string(e.core) +
+            ",\"ts\":" + std::to_string(e.start) +
+            ",\"dur\":" + std::to_string(e.duration) + ",\"args\":";
+    append_args(line, e);
+    line += "}\n";
+    os << line;
+  }
+
+  line.clear();
+  line += "{\"type\":\"summary\",\"events\":" + std::to_string(sink.size()) +
+          ",\"by_kind\":{";
+  first = true;
+  for (unsigned k = 0; k < kNumEventKinds; ++k) {
+    if (by_kind[k] == 0) continue;
+    if (!first) line += ',';
+    first = false;
+    line += json_quote(to_string(static_cast<EventKind>(k))) + ':' +
+            std::to_string(by_kind[k]);
+  }
+  line += '}';
+  for (const auto& [key, value] : summary)
+    line += ',' + json_quote(key) + ':' + std::to_string(value);
+  line += "}\n";
+  os << line;
+}
+
+void write_trace_file(const EventSink& sink, const Metadata& meta,
+                      const Summary& summary, Format format,
+                      const std::string& path) {
+  const std::filesystem::path p(path);
+  if (p.has_parent_path()) std::filesystem::create_directories(p.parent_path());
+  std::ofstream out(p, std::ios::trunc);
+  CMCP_CHECK_MSG(out.good(), "cannot open trace output file");
+  if (format == Format::kPerfetto)
+    export_perfetto(sink, meta, out);
+  else
+    export_jsonl(sink, meta, summary, out);
+}
+
+}  // namespace cmcp::sim::trace

@@ -3,6 +3,10 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+#include <string_view>
+#include <vector>
+
 #include "testing/policy_harness.h"
 
 namespace cmcp::policy {
@@ -25,6 +29,24 @@ TEST(Cmcp, PriorityCapacityFollowsP) {
   EXPECT_EQ(policy.max_priority_pages(), 0u);
   policy.set_p(1.0);
   EXPECT_EQ(policy.max_priority_pages(), 100u);
+}
+
+TEST(Cmcp, StatsVisitorEnumeratesEveryCounter) {
+  FakePolicyHost host(10, 8);
+  CmcpPolicy policy(host, config_with_p(0.2));
+  PageFactory pages;
+  policy.on_insert(pages.make(1, 1));
+  std::vector<std::string> names;
+  policy.stats([&](std::string_view name, std::uint64_t) {
+    names.emplace_back(name);
+  });
+  const std::vector<std::string> expected = {
+      "promotions", "displacements", "aged_out", "priority_size", "fifo_size"};
+  EXPECT_EQ(names, expected);
+  // The key-lookup shim resolves through the same enumeration.
+  EXPECT_EQ(policy.stat("priority_size"), policy.priority_size());
+  EXPECT_EQ(policy.stat("fifo_size"), policy.fifo_size());
+  EXPECT_EQ(policy.stat("no_such_stat"), 0u);
 }
 
 TEST(Cmcp, FillsPriorityGroupUntilFull) {

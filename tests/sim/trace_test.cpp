@@ -1,0 +1,163 @@
+// sim::trace — exporter schema, track layout, null-sink transparency.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <type_traits>
+
+#include "core/simulation.h"
+#include "sim/trace.h"
+#include "workloads/workload_factory.h"
+
+namespace cmcp::sim::trace {
+namespace {
+
+// Events are appended to a flat vector on the fault path; they must stay
+// PODs (no per-event heap traffic, memcpy-able growth).
+static_assert(std::is_trivially_copyable_v<Event>);
+
+TEST(TraceEventKind, NamesAndArgNamesCoverEveryKind) {
+  for (unsigned k = 0; k < kNumEventKinds; ++k) {
+    const auto kind = static_cast<EventKind>(k);
+    EXPECT_NE(to_string(kind), "?") << k;
+    // arg_names must not crash and yields exactly 3 entries per kind.
+    EXPECT_EQ(arg_names(kind).size(), 3u);
+  }
+}
+
+TEST(TraceFormat, ParseRoundTrip) {
+  Format f = Format::kJsonl;
+  EXPECT_TRUE(parse_format("perfetto", &f));
+  EXPECT_EQ(f, Format::kPerfetto);
+  EXPECT_TRUE(parse_format("jsonl", &f));
+  EXPECT_EQ(f, Format::kJsonl);
+  EXPECT_FALSE(parse_format("csv", &f));
+  EXPECT_EQ(to_string(Format::kPerfetto), "perfetto");
+  EXPECT_EQ(to_string(Format::kJsonl), "jsonl");
+}
+
+TEST(TraceSink, TrackLayoutFollowsAppCores) {
+  EventSink sink;
+  sink.set_num_app_cores(8);
+  EXPECT_EQ(sink.scanner_track(), 8u);
+  EXPECT_EQ(sink.pcie_h2d_track(), 9u);
+  EXPECT_EQ(sink.pcie_d2h_track(), 10u);
+  EXPECT_EQ(sink.slot_track(), 11u);
+}
+
+// Golden-file check of the Perfetto exporter: the exact byte layout is part
+// of the determinism contract (identical config => byte-identical trace).
+TEST(TracePerfetto, GoldenExport) {
+  EventSink sink;
+  sink.set_num_app_cores(2);
+  sink.emit({EventKind::kMinorFault, 0, 100, 7, 3, 2, 1, 0});
+  // dir=1 (device->host) routes to the d2h track, core kept in args.
+  sink.emit({EventKind::kPcieTransfer, 1, 200, 50, 4, 1, 4096, 10});
+
+  std::ostringstream os;
+  export_perfetto(sink, {{"workload", "cg"}}, os);
+
+  const std::string expected =
+      "{\"traceEvents\":[\n"
+      "{\"ph\":\"M\",\"pid\":1,\"tid\":0,\"name\":\"thread_name\","
+      "\"args\":{\"name\":\"core 0\"}},\n"
+      "{\"ph\":\"M\",\"pid\":1,\"tid\":1,\"name\":\"thread_name\","
+      "\"args\":{\"name\":\"core 1\"}},\n"
+      "{\"ph\":\"M\",\"pid\":1,\"tid\":2,\"name\":\"thread_name\","
+      "\"args\":{\"name\":\"scanner\"}},\n"
+      "{\"ph\":\"M\",\"pid\":1,\"tid\":3,\"name\":\"thread_name\","
+      "\"args\":{\"name\":\"pcie host->device\"}},\n"
+      "{\"ph\":\"M\",\"pid\":1,\"tid\":4,\"name\":\"thread_name\","
+      "\"args\":{\"name\":\"pcie device->host\"}},\n"
+      "{\"ph\":\"M\",\"pid\":1,\"tid\":5,\"name\":\"thread_name\","
+      "\"args\":{\"name\":\"invalidation slot\"}},\n"
+      "{\"ph\":\"X\",\"pid\":1,\"tid\":0,\"name\":\"minor_fault\",\"ts\":100,"
+      "\"dur\":7,\"args\":{\"unit\":3,\"core_map_count\":2,"
+      "\"prefetch_hit\":1}},\n"
+      "{\"ph\":\"X\",\"pid\":1,\"tid\":4,\"name\":\"pcie_transfer\","
+      "\"ts\":200,\"dur\":50,\"args\":{\"unit\":4,\"dir\":1,\"bytes\":4096,"
+      "\"queue_wait\":10,\"core\":1}}\n"
+      "],\n"
+      "\"displayTimeUnit\":\"ms\",\n"
+      "\"metadata\":{\"clock_unit\":\"cycles\",\"workload\":\"cg\"}}\n";
+  EXPECT_EQ(os.str(), expected);
+}
+
+TEST(TraceJsonl, MetaFirstSummaryLastEventsBetween) {
+  EventSink sink;
+  sink.set_num_app_cores(1);
+  sink.emit({EventKind::kShootdown, 0, 10, 5, 7, 3, 1, 2});
+  sink.emit({EventKind::kShootdown, 0, 20, 5, 8, 3, 1, 0});
+
+  std::ostringstream os;
+  export_jsonl(sink, {{"seed", "42"}}, {{"makespan", 1234}}, os);
+  std::istringstream in(os.str());
+
+  std::string line;
+  std::vector<std::string> lines;
+  while (std::getline(in, line)) lines.push_back(line);
+  ASSERT_EQ(lines.size(), 4u);
+  EXPECT_EQ(lines[0],
+            "{\"type\":\"meta\",\"schema\":1,\"clock_unit\":\"cycles\","
+            "\"cores\":1,\"config\":{\"seed\":\"42\"}}");
+  EXPECT_EQ(lines[1],
+            "{\"type\":\"event\",\"kind\":\"shootdown\",\"core\":0,"
+            "\"ts\":10,\"dur\":5,\"args\":{\"unit\":7,\"targets\":3,"
+            "\"units\":1,\"slot_wait\":2}}");
+  EXPECT_EQ(lines[3],
+            "{\"type\":\"summary\",\"events\":2,\"by_kind\":{\"shootdown\":2},"
+            "\"makespan\":1234}");
+}
+
+core::SimulationResult run_small(EventSink* sink) {
+  wl::WorkloadParams params;
+  params.cores = 4;
+  params.scale = 0.1;
+  params.seed = 7;
+  const auto w = wl::make_paper_workload(wl::PaperWorkload::kCg, params);
+  core::SimulationConfig config;
+  config.machine.num_cores = 4;
+  config.memory_fraction = wl::paper_memory_fraction(wl::PaperWorkload::kCg);
+  config.policy.kind = PolicyKind::kCmcp;
+  config.trace = sink;
+  return core::run_simulation(config, *w);
+}
+
+// The null sink is the disabled state: attaching a sink must not change any
+// virtual-time outcome, and a disabled run must record nothing.
+TEST(TraceNullSink, TracingDoesNotPerturbTheRun) {
+  EventSink sink;
+  const auto traced = run_small(&sink);
+  const auto plain = run_small(nullptr);
+
+  EXPECT_EQ(traced.makespan, plain.makespan);
+  EXPECT_EQ(traced.app_total.major_faults, plain.app_total.major_faults);
+  EXPECT_EQ(traced.app_total.minor_faults, plain.app_total.minor_faults);
+  EXPECT_EQ(traced.app_total.remote_invalidations_received,
+            plain.app_total.remote_invalidations_received);
+  EXPECT_EQ(traced.app_total.evictions, plain.app_total.evictions);
+
+  EXPECT_FALSE(sink.empty());
+  EXPECT_EQ(sink.num_app_cores(), 4u);
+
+  // A memory-constrained run exercises the whole taxonomy's core subset.
+  bool saw[kNumEventKinds] = {};
+  for (const Event& e : sink.events()) saw[static_cast<unsigned>(e.kind)] = true;
+  EXPECT_TRUE(saw[static_cast<unsigned>(EventKind::kMajorFault)]);
+  EXPECT_TRUE(saw[static_cast<unsigned>(EventKind::kVictimPick)]);
+  EXPECT_TRUE(saw[static_cast<unsigned>(EventKind::kEviction)]);
+  EXPECT_TRUE(saw[static_cast<unsigned>(EventKind::kShootdown)]);
+  EXPECT_TRUE(saw[static_cast<unsigned>(EventKind::kPcieTransfer)]);
+}
+
+// Events arrive in deterministic order with sane timestamps.
+TEST(TraceSink, EventsHaveBoundedTimestamps) {
+  EventSink sink;
+  const auto result = run_small(&sink);
+  for (const Event& e : sink.events()) {
+    EXPECT_LE(e.start, result.makespan);
+    EXPECT_LE(e.duration, result.makespan);
+  }
+}
+
+}  // namespace
+}  // namespace cmcp::sim::trace

@@ -3,10 +3,12 @@
 //   cmcp_sim --workload bt --cores 56 --policy cmcp --p 0.9 \
 //            --fraction 0.64 --page-size 4k [--pt pspt] [--seed 42]
 //            [--size small|big] [--prefetch N] [--hw-tlb] [--preload]
-//            [--csv out.csv]
+//            [--csv out.csv] [--json out.json] [--trace out.trace.json]
 //
 // Prints the run's headline observables; with --csv appends one row (with
-// header when creating the file) for scripting sweeps.
+// header when creating the file) for scripting sweeps; with --json writes a
+// schema-versioned result document; with --trace records a structured event
+// trace (Perfetto by default, see docs/observability.md).
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -38,6 +40,9 @@ using namespace cmcp;
       "  --preload                   no-data-movement baseline\n"
       "  --seed N                    workload seed (default 1234)\n"
       "  --csv FILE                  append results as CSV\n"
+      "  --json FILE                 write results as schema-versioned JSON\n"
+      "  --trace FILE                record a structured event trace\n"
+      "  --trace-format perfetto|jsonl  trace export format (default perfetto)\n"
       "  --dump-trace FILE           write the workload's access trace\n"
       "  --replay-trace FILE         run a recorded trace instead\n",
       argv0);
@@ -58,6 +63,9 @@ int main(int argc, char** argv) {
   double p = -1.0;
   std::uint64_t seed = 1234;
   std::optional<std::string> csv_path;
+  std::optional<std::string> json_path;
+  std::optional<std::string> trace_path;
+  sim::trace::Format trace_format = sim::trace::Format::kPerfetto;
   std::optional<std::string> dump_trace;
   std::optional<std::string> replay_trace;
 
@@ -126,6 +134,13 @@ int main(int argc, char** argv) {
       seed = static_cast<std::uint64_t>(std::atoll(need_value(i)));
     } else if (arg == "--csv") {
       csv_path = need_value(i);
+    } else if (arg == "--json") {
+      json_path = need_value(i);
+    } else if (arg == "--trace") {
+      trace_path = need_value(i);
+    } else if (arg == "--trace-format") {
+      if (!sim::trace::parse_format(need_value(i), &trace_format))
+        usage(argv[0]);
     } else if (arg == "--dump-trace") {
       dump_trace = need_value(i);
     } else if (arg == "--replay-trace") {
@@ -157,7 +172,33 @@ int main(int argc, char** argv) {
     wl::save_trace(*workload, *dump_trace);
     std::printf("trace           : written to %s\n", dump_trace->c_str());
   }
+  sim::trace::EventSink sink;
+  if (trace_path) config.trace = &sink;
   const auto result = core::run_simulation(config, *workload);
+
+  // Serialized run description shared by the trace and JSON exports: mirror
+  // this invocation into a RunSpec so describe() covers every field, then
+  // append the CLI-only knobs.
+  metrics::RunSpec spec;
+  spec.workload = workload_kind;
+  spec.size = size;
+  spec.cores = config.machine.num_cores;
+  spec.pt_kind = config.pt_kind;
+  spec.policy = config.policy;
+  spec.memory_fraction = config.memory_fraction;
+  spec.preload = config.preload;
+  spec.page_size = config.machine.page_size;
+  spec.seed = seed;
+  sim::trace::Metadata meta = spec.describe();
+  meta.emplace_back("prefetch_degree", std::to_string(config.prefetch_degree));
+  meta.emplace_back("scan_period",
+                    std::to_string(config.machine.cost.scan_period));
+  meta.emplace_back("tlb_coherence",
+                    config.machine.tlb_coherence ==
+                            sim::TlbCoherence::kHardwareDirectory
+                        ? "hw_directory"
+                        : "shootdown");
+  if (replay_trace) meta.emplace_back("replay_trace", *replay_trace);
 
   const double seconds =
       metrics::cycles_to_seconds(result.makespan, config.machine.cost);
@@ -196,23 +237,48 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(result.app_total.prefetches),
                 static_cast<unsigned long long>(result.app_total.prefetch_hits));
 
-  if (csv_path) {
-    const bool fresh = !std::filesystem::exists(*csv_path);
-    std::ofstream out(*csv_path, std::ios::app);
-    if (fresh)
-      out << "workload,size,cores,pt,policy,p,page_size,fraction,preload,"
-             "seed,makespan,major_faults,minor_faults,remote_invals,"
-             "dtlb_misses,pcie_bytes_in,pcie_bytes_out\n";
-    out << to_string(workload_kind) << ',' << size_suffix(size) << ','
-        << config.machine.num_cores << ',' << to_string(config.pt_kind) << ','
-        << to_string(config.policy.kind) << ',' << config.policy.cmcp.p << ','
-        << to_string(config.machine.page_size) << ',' << config.memory_fraction
-        << ',' << config.preload << ',' << seed << ',' << result.makespan << ','
-        << result.app_total.major_faults << ',' << result.app_total.minor_faults
-        << ',' << result.app_total.remote_invalidations_received << ','
-        << result.app_total.dtlb_misses << ',' << result.app_total.pcie_bytes_in
-        << ',' << result.app_total.pcie_bytes_out << '\n';
-    std::printf("csv             : appended to %s\n", csv_path->c_str());
+  if (trace_path) {
+    sim::trace::write_trace_file(sink, meta, metrics::result_summary(result),
+                                 trace_format, *trace_path);
+    std::printf("trace           : %zu events written to %s (%s)\n",
+                sink.size(), trace_path->c_str(),
+                std::string(to_string(trace_format)).c_str());
+  }
+
+  if (csv_path || json_path) {
+    metrics::ResultWriter writer;
+    for (const auto& [key, value] : meta) writer.meta(key, value);
+    auto& row = writer.add_row();
+    // Column names predate ResultWriter; keep them so old files still append.
+    row.set("workload", to_string(workload_kind))
+        .set("size", size_suffix(size))
+        .set("cores", config.machine.num_cores)
+        .set("pt", to_string(config.pt_kind))
+        .set("policy", to_string(config.policy.kind))
+        .set("p", config.policy.cmcp.p)
+        .set("page_size", to_string(config.machine.page_size))
+        .set("fraction", config.memory_fraction)
+        .set("preload", static_cast<int>(config.preload))
+        .set("seed", seed)
+        .set("makespan", result.makespan)
+        .set("major_faults", result.app_total.major_faults)
+        .set("minor_faults", result.app_total.minor_faults)
+        .set("remote_invals", result.app_total.remote_invalidations_received)
+        .set("dtlb_misses", result.app_total.dtlb_misses)
+        .set("pcie_bytes_in", result.app_total.pcie_bytes_in)
+        .set("pcie_bytes_out", result.app_total.pcie_bytes_out);
+    if (csv_path) {
+      writer.append_csv(*csv_path);
+      std::printf("csv             : appended to %s\n", csv_path->c_str());
+    }
+    if (json_path) {
+      // The JSON document has room for the full summary (policy stats
+      // included) without disturbing the CSV column set.
+      for (const auto& [key, value] : metrics::result_summary(result))
+        row.set(key, value);
+      writer.save_json(*json_path);
+      std::printf("json            : written to %s\n", json_path->c_str());
+    }
   }
   return 0;
 }
