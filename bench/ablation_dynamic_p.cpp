@@ -1,7 +1,9 @@
 // Ablation A5: the paper's future work (section 5.6) — adjusting p at
 // runtime from fault-frequency feedback. We compare the hill-climbing
 // controller against the best and worst static p per workload.
+#include <cstdint>
 #include <cstdio>
+#include <string_view>
 
 #include "cmcp.h"
 
@@ -48,8 +50,12 @@ int main() {
     const auto w2 = wl::make_paper_workload(which, wp);
     core::Simulation sim(config, *w2);
     const auto result = sim.run();
-    const auto final_p =
-        sim.memory_manager().policy().stat("p_permille") / 1000.0;
+    std::uint64_t p_permille = 0;
+    sim.memory_manager().policy().stats(
+        [&](std::string_view name, std::uint64_t value) {
+          if (name == "p_permille") p_permille = value;
+        });
+    const auto final_p = p_permille / 1000.0;
 
     table.add_row({std::string(to_string(which)), metrics::fmt_double(best_p, 1),
                    metrics::fmt_double(best / 1e6, 1),

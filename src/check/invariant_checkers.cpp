@@ -1,0 +1,252 @@
+#include "check/invariant_checkers.h"
+
+#include <unordered_set>
+#include <vector>
+
+#include "mm/pspt.h"
+
+namespace cmcp::check {
+
+namespace {
+
+using sim::CheckPoint;
+using sim::CheckViolation;
+
+/// PSPT consistency (paper section 2.3): for every resident unit the
+/// directory's core-map count, the mapping-core mask, the per-core private
+/// PTEs, and the ResidentPage's cached count must all agree — CMCP's whole
+/// priority signal is this number.
+class PsptConsistencyChecker final : public sim::Checker {
+ public:
+  explicit PsptConsistencyChecker(const core::MemoryManager& mm) : mm_(mm) {}
+
+  std::string_view name() const override { return "pspt-consistency"; }
+
+  void check(CheckPoint /*point*/, std::vector<CheckViolation>& out) override {
+    const mm::PageTable& pt = mm_.page_table();
+    std::uint64_t mapped_resident = 0;
+    std::uint64_t count_sum = 0;
+    mm_.registry().for_each([&](const mm::ResidentPage& pg) {
+      const unsigned count = pt.core_map_count(pg.unit);
+      const CoreMask mask = pt.mapping_cores(pg.unit);
+      count_sum += count;
+      if (count > 0) ++mapped_resident;
+      if (mask.count() != count)
+        out.push_back({std::string(name()), "core-map-count",
+                       "directory count " + std::to_string(count) +
+                           " != mapping-mask population " +
+                           std::to_string(mask.count()),
+                       pg.unit, kInvalidCore});
+      if (pg.core_map_count != count)
+        out.push_back({std::string(name()), "cached-count",
+                       "ResidentPage::core_map_count " +
+                           std::to_string(pg.core_map_count) +
+                           " != page-table count " + std::to_string(count),
+                       pg.unit, kInvalidCore});
+      if (pt.any_mapping(pg.unit) != (count > 0))
+        out.push_back({std::string(name()), "any-mapping",
+                       "any_mapping() disagrees with core_map_count()",
+                       pg.unit, kInvalidCore});
+      mask.for_each([&](CoreId core) {
+        if (!pt.has_mapping(core, pg.unit))
+          out.push_back({std::string(name()), "mask-without-pte",
+                         "mapping mask names a core with no private PTE",
+                         pg.unit, core});
+      });
+      if (count > 0 && pt.pfn_of(pg.unit) != pg.pfn)
+        out.push_back({std::string(name()), "pfn-mismatch",
+                       "page-table pfn " + std::to_string(pt.pfn_of(pg.unit)) +
+                           " != registry pfn " + std::to_string(pg.pfn),
+                       pg.unit, kInvalidCore});
+    });
+    // Dangling-translation sweep: every mapped unit must be resident, so
+    // the table may not hold more units than the registry accounts for.
+    if (pt.mapped_units() != mapped_resident)
+      out.push_back({std::string(name()), "dangling-translation",
+                     "page table maps " + std::to_string(pt.mapped_units()) +
+                         " units but only " + std::to_string(mapped_resident) +
+                         " resident units are mapped",
+                     kInvalidUnit, kInvalidCore});
+    // PSPT cross-foot: the directory's counts must sum to the per-core
+    // table populations (catches count drift that preserves the mask).
+    if (const auto* pspt = dynamic_cast<const mm::Pspt*>(&pt)) {
+      std::uint64_t per_core_sum = 0;
+      for (CoreId c = 0; c < mm_.num_cores(); ++c)
+        per_core_sum += pspt->mapped_units_of_core(c);
+      if (per_core_sum != count_sum)
+        out.push_back({std::string(name()), "count-crossfoot",
+                       "sum of directory counts " + std::to_string(count_sum) +
+                           " != sum of per-core PTE populations " +
+                           std::to_string(per_core_sum),
+                       kInvalidUnit, kInvalidCore});
+    }
+  }
+
+ private:
+  const core::MemoryManager& mm_;
+};
+
+/// TLB/PTE coherence: a valid TLB entry without a live PTE would let a core
+/// use a translation the protocol believes it tore down — the exact failure
+/// shootdown targeting exists to prevent. The engine applies invalidations
+/// synchronously, so at every checkpoint no invalidation is in flight and
+/// the invariant is strict: cached => mapped.
+class TlbConsistencyChecker final : public sim::Checker {
+ public:
+  TlbConsistencyChecker(const core::MemoryManager& mm,
+                        const sim::Machine& machine)
+      : mm_(mm), machine_(machine) {}
+
+  std::string_view name() const override { return "tlb-consistency"; }
+
+  void check(CheckPoint /*point*/, std::vector<CheckViolation>& out) override {
+    const mm::PageTable& pt = mm_.page_table();
+    for (CoreId core = 0; core < machine_.num_cores(); ++core) {
+      machine_.tlb(core).for_each_entry([&](UnitIdx unit) {
+        if (!pt.has_mapping(core, unit))
+          out.push_back({std::string(name()), "stale-tlb-entry",
+                         "TLB caches a translation with no live PTE "
+                         "(missed shootdown?)",
+                         unit, core});
+      });
+    }
+  }
+
+ private:
+  const core::MemoryManager& mm_;
+  const sim::Machine& machine_;
+};
+
+/// Frame accounting: the allocator's in-use count must equal the number of
+/// resident pages (each holds exactly one frame), and no two resident pages
+/// may share a frame — a double-free or double-allocate here corrupts every
+/// downstream figure.
+class FrameRefcountChecker final : public sim::Checker {
+ public:
+  explicit FrameRefcountChecker(const core::MemoryManager& mm) : mm_(mm) {}
+
+  std::string_view name() const override { return "frame-refcount"; }
+
+  void check(CheckPoint /*point*/, std::vector<CheckViolation>& out) override {
+    const mm::FrameAllocator& alloc = mm_.allocator();
+    if (alloc.in_use() != mm_.registry().size())
+      out.push_back({std::string(name()), "in-use-vs-resident",
+                     "allocator has " + std::to_string(alloc.in_use()) +
+                         " frames in use but " +
+                         std::to_string(mm_.registry().size()) +
+                         " pages are resident",
+                     kInvalidUnit, kInvalidCore});
+    seen_.clear();
+    mm_.registry().for_each([&](const mm::ResidentPage& pg) {
+      if (pg.pfn == kInvalidPfn) {
+        out.push_back({std::string(name()), "invalid-pfn",
+                       "resident page holds kInvalidPfn", pg.unit,
+                       kInvalidCore});
+        return;
+      }
+      if (!seen_.insert(pg.pfn).second)
+        out.push_back({std::string(name()), "frame-aliased",
+                       "frame " + std::to_string(pg.pfn) +
+                           " is held by more than one resident page",
+                       pg.unit, kInvalidCore});
+    });
+  }
+
+ private:
+  const core::MemoryManager& mm_;
+  std::unordered_set<Pfn> seen_;  ///< scratch, reused across sweeps
+};
+
+/// Policy accounting: every built-in policy reports how many pages its
+/// internal lists track; that number must equal the resident-set size
+/// (pinned preload runs bypass policy bookkeeping and are exempt).
+class PolicyAccountingChecker final : public sim::Checker {
+ public:
+  explicit PolicyAccountingChecker(const core::MemoryManager& mm) : mm_(mm) {}
+
+  std::string_view name() const override { return "policy-accounting"; }
+
+  void check(CheckPoint /*point*/, std::vector<CheckViolation>& out) override {
+    if (mm_.pinned()) return;
+    const std::int64_t tracked = mm_.policy().tracked_pages();
+    if (tracked < 0) return;  // custom policy without introspection
+    const auto resident = static_cast<std::int64_t>(mm_.registry().size());
+    if (tracked != resident)
+      out.push_back({std::string(name()), "list-size-vs-resident",
+                     std::string(mm_.policy().name()) + " tracks " +
+                         std::to_string(tracked) + " pages but " +
+                         std::to_string(resident) + " are resident",
+                     kInvalidUnit, kInvalidCore});
+  }
+
+ private:
+  const core::MemoryManager& mm_;
+};
+
+/// Virtual-time sanity: a core clock running backwards would silently
+/// reorder every queueing decision after it (PCIe, invalidation slot, page
+/// table locks) — the determinism guarantee would still "pass" while
+/// modelling a different machine.
+class ClockMonotonicityChecker final : public sim::Checker {
+ public:
+  explicit ClockMonotonicityChecker(const sim::Machine& machine)
+      : machine_(machine),
+        last_(static_cast<std::size_t>(machine.num_cores()) + 1, 0) {}
+
+  std::string_view name() const override { return "clock-monotonic"; }
+
+  void check(CheckPoint /*point*/, std::vector<CheckViolation>& out) override {
+    for (CoreId core = 0; core <= machine_.num_cores(); ++core) {
+      const Cycles now = machine_.clock(core);
+      if (now < last_[core])
+        out.push_back({std::string(name()), "clock-regression",
+                       "clock moved from " + std::to_string(last_[core]) +
+                           " back to " + std::to_string(now),
+                       kInvalidUnit, core});
+      last_[core] = now;
+    }
+  }
+
+ private:
+  const sim::Machine& machine_;
+  std::vector<Cycles> last_;  ///< indexed by core, scanner pseudo-core last
+};
+
+}  // namespace
+
+std::unique_ptr<sim::Checker> make_pspt_consistency_checker(
+    const core::MemoryManager& mm) {
+  return std::make_unique<PsptConsistencyChecker>(mm);
+}
+
+std::unique_ptr<sim::Checker> make_tlb_consistency_checker(
+    const core::MemoryManager& mm, const sim::Machine& machine) {
+  return std::make_unique<TlbConsistencyChecker>(mm, machine);
+}
+
+std::unique_ptr<sim::Checker> make_frame_refcount_checker(
+    const core::MemoryManager& mm) {
+  return std::make_unique<FrameRefcountChecker>(mm);
+}
+
+std::unique_ptr<sim::Checker> make_policy_accounting_checker(
+    const core::MemoryManager& mm) {
+  return std::make_unique<PolicyAccountingChecker>(mm);
+}
+
+std::unique_ptr<sim::Checker> make_clock_monotonicity_checker(
+    const sim::Machine& machine) {
+  return std::make_unique<ClockMonotonicityChecker>(machine);
+}
+
+void register_default_checkers(sim::CheckRegistry& registry,
+                               const core::MemoryManager& mm,
+                               const sim::Machine& machine) {
+  registry.add(make_pspt_consistency_checker(mm));
+  registry.add(make_tlb_consistency_checker(mm, machine));
+  registry.add(make_frame_refcount_checker(mm));
+  registry.add(make_policy_accounting_checker(mm));
+  registry.add(make_clock_monotonicity_checker(machine));
+}
+
+}  // namespace cmcp::check

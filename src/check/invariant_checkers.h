@@ -1,0 +1,43 @@
+// SimCheck's concrete invariant checkers over the live memory-management
+// protocol state. Each checker encodes one claim the paper's results depend
+// on; docs/invariants.md catalogues them with their paper justification.
+//
+//   pspt-consistency   core-map count == mapping mask == per-core PTEs
+//   tlb-consistency    no cached translation without a live PTE
+//   frame-refcount     frames in use == resident pages, one frame per page
+//   policy-accounting  policy list sizes == resident-set size
+//   clock-monotonic    per-core virtual clocks never run backwards
+//
+// All factories take the objects by reference; the checkers are read-only
+// observers and must not outlive the MemoryManager / Machine they watch.
+#pragma once
+
+#include <memory>
+
+#include "core/memory_manager.h"
+#include "sim/checker.h"
+#include "sim/machine.h"
+
+namespace cmcp::check {
+
+std::unique_ptr<sim::Checker> make_pspt_consistency_checker(
+    const core::MemoryManager& mm);
+
+std::unique_ptr<sim::Checker> make_tlb_consistency_checker(
+    const core::MemoryManager& mm, const sim::Machine& machine);
+
+std::unique_ptr<sim::Checker> make_frame_refcount_checker(
+    const core::MemoryManager& mm);
+
+std::unique_ptr<sim::Checker> make_policy_accounting_checker(
+    const core::MemoryManager& mm);
+
+std::unique_ptr<sim::Checker> make_clock_monotonicity_checker(
+    const sim::Machine& machine);
+
+/// Register the full default suite (everything above) on `registry`.
+void register_default_checkers(sim::CheckRegistry& registry,
+                               const core::MemoryManager& mm,
+                               const sim::Machine& machine);
+
+}  // namespace cmcp::check

@@ -1,0 +1,339 @@
+#include "check/trace_lint.h"
+
+#include <array>
+#include <cctype>
+#include <fstream>
+#include <istream>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/types.h"
+#include "sim/trace.h"
+
+namespace cmcp::check {
+
+namespace {
+
+// --- minimal JSON field extraction -----------------------------------------
+// The exporter writes flat one-line objects with unescaped keys and numeric
+// or simple-string values, so targeted field lookups are sufficient (and
+// keep the linter free of a JSON dependency the container may not have).
+
+std::optional<std::uint64_t> find_uint(std::string_view text,
+                                       std::string_view key) {
+  const std::string needle = '"' + std::string(key) + "\":";
+  const std::size_t pos = text.find(needle);
+  if (pos == std::string_view::npos) return std::nullopt;
+  std::size_t i = pos + needle.size();
+  if (i >= text.size() ||
+      std::isdigit(static_cast<unsigned char>(text[i])) == 0)
+    return std::nullopt;
+  std::uint64_t value = 0;
+  while (i < text.size() && std::isdigit(static_cast<unsigned char>(text[i])) != 0)
+    value = value * 10 + static_cast<std::uint64_t>(text[i++] - '0');
+  return value;
+}
+
+std::optional<std::string_view> find_string(std::string_view text,
+                                            std::string_view key) {
+  const std::string needle = '"' + std::string(key) + "\":\"";
+  const std::size_t pos = text.find(needle);
+  if (pos == std::string_view::npos) return std::nullopt;
+  const std::size_t begin = pos + needle.size();
+  const std::size_t end = text.find('"', begin);
+  if (end == std::string_view::npos) return std::nullopt;
+  return text.substr(begin, end - begin);
+}
+
+/// Protocol residency as reconstructible from the event stream. Units that
+/// never appear (preloaded, never-faulted) stay kUnknown.
+enum class Residency : std::uint8_t { kUnknown = 0, kResident, kEvicted };
+
+struct UnitState {
+  Residency residency = Residency::kUnknown;
+  /// A host->device transfer of this unit has been seen and not yet
+  /// consumed by a major fault (fault/resolve pairing).
+  bool fetch_pending = false;
+};
+
+struct CoreState {
+  UnitIdx last_pick = kInvalidUnit;  ///< victim_pick awaiting its eviction
+  std::unordered_set<UnitIdx> shot_since_pick;
+  std::unordered_set<UnitIdx> writeback_since_pick;
+  Cycles last_ts = 0;      ///< fault/barrier timestamp watermark
+  bool has_last_ts = false;
+};
+
+class Linter {
+ public:
+  explicit Linter(LintResult& result) : result_(result) {}
+
+  void line(std::size_t number, std::string_view text) {
+    ++result_.lines;
+    if (text.empty()) return;
+    const auto type = find_string(text, "type");
+    if (!type) {
+      issue(number, "parse-error", "line has no \"type\" field");
+      return;
+    }
+    if (saw_summary_)
+      issue(number, "trailing-line", "content after the summary footer");
+    if (*type == "meta") {
+      if (number != 1)
+        issue(number, "missing-meta", "meta line must be the first line");
+      saw_meta_ = true;
+      return;
+    }
+    if (*type == "summary") {
+      summary(number, text);
+      return;
+    }
+    if (*type == "event") {
+      if (!saw_meta_ && !complained_meta_) {
+        issue(number, "missing-meta", "events before any meta header");
+        complained_meta_ = true;
+      }
+      event(number, text);
+      return;
+    }
+    issue(number, "parse-error",
+          "unknown line type \"" + std::string(*type) + '"');
+  }
+
+  void finish(std::size_t last_line) {
+    if (!saw_meta_ && !complained_meta_ && result_.lines > 0)
+      issue(1, "missing-meta", "trace has no meta header");
+    if (!saw_summary_ && result_.lines > 0)
+      issue(last_line, "missing-summary", "trace has no summary footer");
+  }
+
+ private:
+  void issue(std::size_t line, std::string rule, std::string message) {
+    result_.issues.push_back({line, std::move(rule), std::move(message)});
+  }
+
+  CoreState& core_state(std::uint64_t core) { return cores_[core]; }
+
+  void event(std::size_t number, std::string_view text) {
+    ++result_.events;
+    // Top-level fields live before "args"; unit and the kind-specific
+    // payload after it. Splitting first keeps the lookups unambiguous
+    // (pcie/slot events repeat "core" inside args).
+    const std::size_t args_pos = text.find("\"args\":");
+    const std::string_view head =
+        args_pos == std::string_view::npos ? text : text.substr(0, args_pos);
+    const std::string_view args =
+        args_pos == std::string_view::npos ? std::string_view{}
+                                           : text.substr(args_pos);
+
+    const auto kind = find_string(head, "kind");
+    const auto core = find_uint(head, "core");
+    const auto ts = find_uint(head, "ts");
+    const auto dur = find_uint(head, "dur");
+    if (!kind || !core || !ts || !dur) {
+      issue(number, "parse-error", "event line missing kind/core/ts/dur");
+      return;
+    }
+    ++by_kind_[std::string(*kind)];
+    const auto unit = find_uint(args, "unit");
+
+    if (*kind == "minor_fault") {
+      fault_ts(number, *core, *ts);
+      if (!unit) return issue(number, "parse-error", "minor_fault without unit");
+      UnitState& st = units_[*unit];
+      if (st.residency == Residency::kEvicted)
+        issue(number, "use-after-evict",
+              "minor fault on unit " + std::to_string(*unit) +
+                  " after its eviction (no refetch in between)");
+      st.residency = Residency::kResident;
+    } else if (*kind == "major_fault") {
+      fault_ts(number, *core, *ts);
+      if (!unit) return issue(number, "parse-error", "major_fault without unit");
+      UnitState& st = units_[*unit];
+      if (!st.fetch_pending)
+        issue(number, "major-fault-without-transfer",
+              "major fault on unit " + std::to_string(*unit) +
+                  " with no host->device transfer to resolve it");
+      st.fetch_pending = false;
+      st.residency = Residency::kResident;
+    } else if (*kind == "victim_pick") {
+      if (!unit) return issue(number, "parse-error", "victim_pick without unit");
+      CoreState& cs = core_state(*core);
+      cs.last_pick = *unit;
+      cs.shot_since_pick.clear();
+      cs.writeback_since_pick.clear();
+    } else if (*kind == "shootdown") {
+      // Scanner batches carry no unit; per-unit eviction shootdowns do.
+      if (unit) core_state(*core).shot_since_pick.insert(*unit);
+    } else if (*kind == "pcie_transfer") {
+      const auto dir = find_uint(args, "dir");
+      if (!dir) return issue(number, "parse-error", "pcie_transfer without dir");
+      if (!unit) return;  // syscall round-trips move no page data
+      if (*dir == 0) {    // host->device: a fetch
+        UnitState& st = units_[*unit];
+        if (st.residency == Residency::kResident)
+          issue(number, "refetch-while-resident",
+                "host->device transfer of unit " + std::to_string(*unit) +
+                    " which is already resident");
+        st.residency = Residency::kResident;
+        st.fetch_pending = true;
+      } else {  // device->host: a write-back
+        core_state(*core).writeback_since_pick.insert(*unit);
+      }
+    } else if (*kind == "eviction") {
+      eviction(number, *core, unit, args);
+    } else if (*kind == "scan_pass") {
+      if (*ts < scan_end_)
+        issue(number, "scan-overlap",
+              "scan pass starts at " + std::to_string(*ts) +
+                  " before the previous pass ended at " +
+                  std::to_string(scan_end_));
+      scan_end_ = *ts + *dur;
+    } else if (*kind == "slot_hold") {
+      if (*ts < slot_end_)
+        issue(number, "slot-overlap",
+              "invalidation slot held from " + std::to_string(*ts) +
+                  " while the previous hold ran to " +
+                  std::to_string(slot_end_));
+      slot_end_ = *ts + *dur;
+    } else if (*kind == "barrier_wait") {
+      fault_ts(number, *core, *ts);
+    } else {
+      issue(number, "parse-error",
+            "unknown event kind \"" + std::string(*kind) + '"');
+    }
+  }
+
+  void eviction(std::size_t number, std::uint64_t core,
+                std::optional<std::uint64_t> unit, std::string_view args) {
+    if (!unit) return issue(number, "parse-error", "eviction without unit");
+    const auto dirty = find_uint(args, "dirty");
+    const auto targets = find_uint(args, "targets");
+    const auto wb_bytes = find_uint(args, "writeback_bytes");
+    if (!dirty || !targets || !wb_bytes)
+      return issue(number, "parse-error",
+                   "eviction missing dirty/targets/writeback_bytes");
+
+    UnitState& st = units_[*unit];
+    if (st.residency == Residency::kEvicted)
+      issue(number, "double-evict",
+            "unit " + std::to_string(*unit) +
+                " evicted again without becoming resident (frame double-free)");
+    else if (st.residency == Residency::kUnknown)
+      issue(number, "evict-nonresident",
+            "eviction of unit " + std::to_string(*unit) +
+                " that the trace never saw become resident");
+    st.residency = Residency::kEvicted;
+    st.fetch_pending = false;
+
+    CoreState& cs = core_state(core);
+    if (cs.last_pick != *unit)
+      issue(number, "eviction-without-pick",
+            "eviction of unit " + std::to_string(*unit) + " on core " +
+                std::to_string(core) +
+                (cs.last_pick == kInvalidUnit
+                     ? std::string(" with no pending victim_pick")
+                     : " but the pending victim_pick chose unit " +
+                           std::to_string(cs.last_pick)));
+    cs.last_pick = kInvalidUnit;
+
+    // targets counts every mapping core including the initiator; a remote
+    // shootdown event is mandatory once anyone else maps the unit. With a
+    // single mapper the sole PTE may belong to the initiator, whose INVLPG
+    // is local and emits nothing.
+    if (*targets >= 2 && cs.shot_since_pick.count(*unit) == 0)
+      issue(number, "eviction-without-shootdown",
+            "unit " + std::to_string(*unit) + " was mapped by " +
+                std::to_string(*targets) +
+                " cores but no shootdown of it precedes the eviction");
+
+    if (*dirty != 0) {
+      if (*wb_bytes == 0)
+        issue(number, "writeback-mismatch",
+              "dirty eviction of unit " + std::to_string(*unit) +
+                  " reports zero writeback bytes");
+      if (cs.writeback_since_pick.count(*unit) == 0)
+        issue(number, "writeback-mismatch",
+              "dirty eviction of unit " + std::to_string(*unit) +
+                  " has no device->host transfer preceding it");
+    } else if (*wb_bytes != 0) {
+      issue(number, "writeback-mismatch",
+            "clean eviction of unit " + std::to_string(*unit) +
+                " reports " + std::to_string(*wb_bytes) + " writeback bytes");
+    }
+  }
+
+  /// Per-core monotonicity over the kinds stamped with the core's own clock
+  /// at emission time (faults and barrier waits). Evictions/picks are
+  /// stamped mid-access and legitimately interleave out of timestamp order
+  /// with the enclosing fault event, so they are excluded.
+  void fault_ts(std::size_t number, std::uint64_t core, Cycles ts) {
+    CoreState& cs = core_state(core);
+    if (cs.has_last_ts && ts < cs.last_ts)
+      issue(number, "core-time-regression",
+            "core " + std::to_string(core) + " timestamp " +
+                std::to_string(ts) + " precedes earlier event at " +
+                std::to_string(cs.last_ts));
+    cs.last_ts = ts;
+    cs.has_last_ts = true;
+  }
+
+  void summary(std::size_t number, std::string_view text) {
+    saw_summary_ = true;
+    const auto total = find_uint(text, "events");
+    if (!total) {
+      issue(number, "parse-error", "summary without \"events\" count");
+    } else if (*total != result_.events) {
+      issue(number, "summary-count-mismatch",
+            "summary claims " + std::to_string(*total) + " events but " +
+                std::to_string(result_.events) + " event lines precede it");
+    }
+    // by_kind cross-check: every kind we counted must appear with the same
+    // count (kinds with zero occurrences are omitted by the exporter).
+    for (const auto& [kind, count] : by_kind_) {
+      const auto claimed = find_uint(text, kind);
+      if (!claimed || *claimed != count)
+        issue(number, "summary-count-mismatch",
+              "summary by_kind." + kind + " = " +
+                  (claimed ? std::to_string(*claimed) : std::string("absent")) +
+                  " but the stream has " + std::to_string(count));
+    }
+  }
+
+  LintResult& result_;
+  std::unordered_map<UnitIdx, UnitState> units_;
+  std::unordered_map<std::uint64_t, CoreState> cores_;
+  std::unordered_map<std::string, std::uint64_t> by_kind_;
+  Cycles scan_end_ = 0;
+  Cycles slot_end_ = 0;
+  bool saw_meta_ = false;
+  bool complained_meta_ = false;
+  bool saw_summary_ = false;
+};
+
+}  // namespace
+
+LintResult lint_jsonl_trace(std::istream& in) {
+  LintResult result;
+  Linter linter(result);
+  std::string line;
+  std::size_t number = 0;
+  while (std::getline(in, line)) linter.line(++number, line);
+  linter.finish(number);
+  return result;
+}
+
+LintResult lint_trace_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.good()) {
+    LintResult result;
+    result.issues.push_back({0, "io-error", "cannot open " + path});
+    return result;
+  }
+  return lint_jsonl_trace(in);
+}
+
+}  // namespace cmcp::check

@@ -1,0 +1,62 @@
+// Offline protocol linter for JSONL event traces (sim::trace::export_jsonl).
+//
+// Where SimCheck (sim/checker.h) inspects live state, the linter replays a
+// recorded run through a protocol state machine and verifies the event
+// stream itself is a legal history of the paper's eviction protocol:
+//
+//   missing-meta / missing-summary / trailing-line / parse-error
+//                              well-formed stream framing
+//   major-fault-without-transfer  every major fault consumed a host->device
+//                              transfer of its unit (fault/resolve pairing)
+//   refetch-while-resident     no second fetch of a resident unit
+//   use-after-evict            no minor fault on an evicted unit
+//   double-evict / evict-nonresident
+//                              no frame freed twice, nothing evicted that
+//                              was never resident
+//   eviction-without-pick      every eviction paired with a victim_pick of
+//                              the same unit on the same core
+//   eviction-without-shootdown an eviction whose unit was mapped by >= 2
+//                              cores was preceded by a shootdown of exactly
+//                              that unit (the invariant the paper's no-
+//                              usage-tracking-invalidations claim rests on)
+//   writeback-mismatch         dirty evictions carry a device->host
+//                              transfer and bytes; clean ones carry neither
+//   scan-overlap               scanner passes never overlap in time
+//   slot-overlap               invalidation-slot holds are serialized
+//   core-time-regression       per-core fault/barrier timestamps are
+//                              monotone
+//   summary-count-mismatch     the footer's counts match the stream
+//
+// The linter is deliberately independent of the simulator's in-memory
+// structures — it parses the JSON lines directly, so it also guards the
+// exporter's format against regressions.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace cmcp::check {
+
+struct LintIssue {
+  std::size_t line = 0;  ///< 1-based line number in the trace file
+  std::string rule;      ///< rule id, e.g. "eviction-without-shootdown"
+  std::string message;   ///< human-readable specifics
+};
+
+struct LintResult {
+  std::vector<LintIssue> issues;
+  std::uint64_t lines = 0;   ///< total lines read
+  std::uint64_t events = 0;  ///< event lines replayed
+  bool ok() const { return issues.empty(); }
+};
+
+/// Replay a JSONL trace from `in` through the protocol state machine.
+LintResult lint_jsonl_trace(std::istream& in);
+
+/// Convenience: open `path` and lint it. An unreadable file reports a
+/// single "io-error" issue on line 0.
+LintResult lint_trace_file(const std::string& path);
+
+}  // namespace cmcp::check

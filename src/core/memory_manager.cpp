@@ -20,6 +20,20 @@ std::unique_ptr<mm::PageTable> make_page_table(PageTableKind kind, CoreId cores)
 
 }  // namespace
 
+// SimCheck checkpoints compile out entirely in Release (CMCP_SIMCHECK=OFF):
+// the fault path then carries no extra branch at all, which the
+// trace-determinism CI step verifies byte-for-byte.
+#if CMCP_SIMCHECK_ENABLED
+#define CMCP_SIMCHECK_POINT(point) \
+  do {                             \
+    if (checks_ != nullptr) checks_->run(sim::CheckPoint::point); \
+  } while (0)
+#else
+#define CMCP_SIMCHECK_POINT(point) \
+  do {                             \
+  } while (0)
+#endif
+
 MemoryManager::MemoryManager(sim::Machine& machine, const mm::ComputationArea& area,
                              const MemoryManagerConfig& config)
     : machine_(machine),
@@ -183,6 +197,7 @@ Cycles MemoryManager::access(CoreId core, Vpn vpn, bool write, Cycles now) {
       tr->emit({sim::trace::EventKind::kMinorFault, core, now, total, unit,
                 trace_map_count, trace_prefetch_hit, 0});
   }
+  CMCP_SIMCHECK_POINT(kAfterFault);
   return total;
 }
 
@@ -288,6 +303,7 @@ Cycles MemoryManager::evict_one(CoreId faulting_core, Cycles now) {
     tr->emit({sim::trace::EventKind::kEviction, faulting_core, now, cycles,
               unit, dirty ? 1u : 0u, trace_targets,
               dirty ? unit_bytes(area_.page_size()) : 0});
+  CMCP_SIMCHECK_POINT(kAfterEviction);
   return cycles;
 }
 
@@ -370,6 +386,7 @@ void MemoryManager::run_periodic(Cycles watermark) {
         const Cycles behind = machine_.clock(scanner) - next_tick_;
         next_tick_ += (behind / period + 1) * period;
       }
+      CMCP_SIMCHECK_POINT(kAfterScan);
     }
 
     policy_->on_tick(tick_time);

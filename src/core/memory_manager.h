@@ -15,6 +15,7 @@
 #include "mm/page_table.h"
 #include "policy/policy_factory.h"
 #include "policy/replacement_policy.h"
+#include "sim/checker.h"
 #include "sim/machine.h"
 
 namespace cmcp::core {
@@ -72,10 +73,23 @@ class MemoryManager final : public policy::PolicyHost {
   // --- introspection -------------------------------------------------------
   const mm::PageTable& page_table() const { return *page_table_; }
   const mm::PageRegistry& registry() const { return registry_; }
+  const mm::FrameAllocator& allocator() const { return allocator_; }
   const mm::ComputationArea& area() const { return area_; }
   policy::ReplacementPolicy& policy() { return *policy_; }
+  const policy::ReplacementPolicy& policy() const { return *policy_; }
   bool scanner_enabled() const { return policy_->wants_scanner(); }
   std::uint64_t scans_completed() const { return scans_completed_; }
+  bool pinned() const { return pinned_; }
+
+  /// Attach a SimCheck registry (non-owning, may be null). The memory
+  /// manager then runs invariant sweeps at its protocol checkpoints. Only
+  /// effective when CMCP_SIMCHECK_ENABLED compiles the call sites in.
+  void set_check_registry(sim::CheckRegistry* checks) { checks_ = checks; }
+  sim::CheckRegistry* check_registry() const { return checks_; }
+
+  /// Mutable page-table access for SimCheck fault-injection tests ONLY
+  /// (e.g. Pspt::corrupt_count_for_test). Product code must never use it.
+  mm::PageTable& mutable_page_table_for_test() { return *page_table_; }
 
   /// Histogram of resident units by number of mapping cores:
   /// result[c] = units currently mapped by exactly c cores (Fig. 6 data).
@@ -106,6 +120,8 @@ class MemoryManager final : public policy::PolicyHost {
 
   /// Address-space-wide page-table lock (regular tables only).
   Cycles pt_lock_busy_until_ = 0;
+
+  sim::CheckRegistry* checks_ = nullptr;  ///< non-owning; null = unchecked
 
   Cycles next_tick_ = 0;
   std::uint64_t scans_completed_ = 0;

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <queue>
 
+#include "check/invariant_checkers.h"
 #include "common/assert.h"
 
 namespace cmcp::core {
@@ -74,6 +75,14 @@ Simulation::Simulation(const SimulationConfig& config, const wl::Workload& workl
     config_.trace->set_num_app_cores(machine_.num_cores());
     machine_.set_trace(config_.trace);
   }
+#if CMCP_SIMCHECK_ENABLED
+  if (config_.simcheck) {
+    checks_ = std::make_unique<sim::CheckRegistry>();
+    check::register_default_checkers(*checks_, mm_, machine_);
+    checks_->set_event_source(config_.trace);
+    mm_.set_check_registry(checks_.get());
+  }
+#endif
 }
 
 SimulationResult Simulation::run() {
@@ -225,6 +234,7 @@ SimulationResult Simulation::run() {
   }
   CMCP_CHECK_MSG(active == 0 && at_barrier == 0,
                  "engine deadlock: cores stuck at a barrier");
+  if (checks_ != nullptr) checks_->run_now(sim::CheckPoint::kEndOfRun);
 
   SimulationResult result;
   for (CoreId c = 0; c < n; ++c)

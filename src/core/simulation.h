@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -16,6 +17,7 @@
 #include "common/types.h"
 #include "core/memory_manager.h"
 #include "metrics/counters.h"
+#include "sim/checker.h"
 #include "sim/machine.h"
 #include "workloads/access_stream.h"
 
@@ -53,6 +55,13 @@ struct SimulationConfig {
   /// recorded into this sink (non-owning). Null = tracing disabled; the
   /// hot path then only pays a pointer test at each emit point.
   sim::trace::EventSink* trace = nullptr;
+
+  /// SimCheck: run the default protocol-invariant checkers (src/check/) at
+  /// the memory manager's checkpoints and once at end of run. Only
+  /// effective when CMCP_SIMCHECK_ENABLED compiles the machinery in; a
+  /// violated invariant aborts with a structured diagnostic (override via
+  /// Simulation::check_registry()->set_handler). See docs/invariants.md.
+  bool simcheck = true;
 };
 
 struct SimulationResult {
@@ -91,6 +100,11 @@ class Simulation {
   sim::Machine& machine() { return machine_; }
   MemoryManager& memory_manager() { return mm_; }
 
+  /// The SimCheck registry, or null when checking is disabled (config or
+  /// CMCP_SIMCHECK=OFF build). Tests use it to install capturing handlers
+  /// and to trigger unconditional sweeps.
+  sim::CheckRegistry* check_registry() { return checks_.get(); }
+
  private:
   static sim::MachineConfig machine_config_for(const SimulationConfig& config,
                                                const wl::Workload& workload);
@@ -104,6 +118,8 @@ class Simulation {
   sim::Machine machine_;
   mm::ComputationArea area_;
   MemoryManager mm_;
+  /// Null when SimCheck is disabled (by config or compiled out).
+  std::unique_ptr<sim::CheckRegistry> checks_;
   bool ran_ = false;
 };
 

@@ -62,6 +62,12 @@ class PageRegistry {
     for (auto& [unit, page] : map_) fn(*page);
   }
 
+  /// Read-only iteration (SimCheck sweeps, exporters).
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const auto& [unit, page] : map_) fn(static_cast<const ResidentPage&>(*page));
+  }
+
  private:
   std::unordered_map<UnitIdx, ResidentPage*> map_;
   std::vector<std::unique_ptr<ResidentPage>> pool_;

@@ -110,6 +110,18 @@ bool Pspt::test_dirty(UnitIdx unit) const {
   return dirty;
 }
 
+void Pspt::corrupt_count_for_test(UnitIdx unit, unsigned count) {
+  auto it = directory_.find(unit);
+  CMCP_CHECK_MSG(it != directory_.end(), "corrupting an unmapped unit");
+  it->second.count = count;
+}
+
+void Pspt::corrupt_mask_add_core_for_test(UnitIdx unit, CoreId core) {
+  auto it = directory_.find(unit);
+  CMCP_CHECK_MSG(it != directory_.end(), "corrupting an unmapped unit");
+  it->second.mapping.set(core);
+}
+
 void Pspt::clear_dirty(UnitIdx unit) {
   auto it = directory_.find(unit);
   if (it == directory_.end()) return;

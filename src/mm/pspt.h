@@ -41,6 +41,13 @@ class Pspt final : public PageTable {
     return tables_[core].size();
   }
 
+  // --- test-only fault injection ------------------------------------------
+  // SimCheck's checker-detects-the-bug coverage needs a way to corrupt the
+  // directory the way a real accounting bug would (count drifting from the
+  // mask, mask gaining a core without a PTE). Never called by product code.
+  void corrupt_count_for_test(UnitIdx unit, unsigned count);
+  void corrupt_mask_add_core_for_test(UnitIdx unit, CoreId core);
+
  private:
   struct Pte {
     Pfn pfn = kInvalidPfn;

@@ -35,7 +35,7 @@ void ArcPolicy::on_insert(mm::ResidentPage& page) {
     ++ghost_hits_b1_;
     const double delta =
         std::max(1.0, static_cast<double>(b2_.size()) /
-                          std::max<std::size_t>(b1_.size(), 1));
+                          static_cast<double>(std::max<std::size_t>(b1_.size(), 1)));
     target_ = std::min(target_ + delta, c);
     b1_.remove(unit);
     page.where = kT2;  // refault == second reference
@@ -47,7 +47,7 @@ void ArcPolicy::on_insert(mm::ResidentPage& page) {
     ++ghost_hits_b2_;
     const double delta =
         std::max(1.0, static_cast<double>(b1_.size()) /
-                          std::max<std::size_t>(b2_.size(), 1));
+                          static_cast<double>(std::max<std::size_t>(b2_.size(), 1)));
     target_ = std::max(target_ - delta, 0.0);
     b2_.remove(unit);
     page.where = kT2;

@@ -31,6 +31,10 @@ class ArcPolicy final : public ReplacementPolicy {
   mm::ResidentPage* pick_victim(CoreId faulting_core, Cycles& extra_cycles) override;
   void on_evict(mm::ResidentPage& page) override;
 
+  std::int64_t tracked_pages() const override {
+    return static_cast<std::int64_t>(t1_.size() + t2_.size());
+  }
+
   std::size_t t1_size() const { return t1_.size(); }
   std::size_t t2_size() const { return t2_.size(); }
   std::size_t b1_size() const { return b1_.size(); }

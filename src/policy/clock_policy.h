@@ -21,6 +21,10 @@ class ClockPolicy : public ReplacementPolicy {
 
   void on_evict(mm::ResidentPage& page) override { ring_.erase(page); }
 
+  std::int64_t tracked_pages() const override {
+    return static_cast<std::int64_t>(ring_.size());
+  }
+
   void stats(const StatVisitor& visit) const override {
     visit("second_chances", second_chances_);
   }

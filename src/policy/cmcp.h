@@ -52,6 +52,10 @@ class CmcpPolicy final : public ReplacementPolicy {
   void set_p(double p);
   double p() const { return config_.p; }
 
+  std::int64_t tracked_pages() const override {
+    return static_cast<std::int64_t>(fifo_.size() + priority_size_);
+  }
+
   std::size_t fifo_size() const { return fifo_.size(); }
   std::size_t priority_size() const { return priority_size_; }
   std::uint64_t max_priority_pages() const { return max_priority_; }

@@ -38,6 +38,8 @@ class DynamicPCmcpPolicy final : public ReplacementPolicy {
 
   void on_evict(mm::ResidentPage& page) override { inner_.on_evict(page); }
 
+  std::int64_t tracked_pages() const override { return inner_.tracked_pages(); }
+
   void on_tick(Cycles now) override;
 
   double current_p() const { return inner_.p(); }

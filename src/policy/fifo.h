@@ -22,6 +22,10 @@ class FifoPolicy : public ReplacementPolicy {
 
   void on_evict(mm::ResidentPage& page) override { queue_.erase(page); }
 
+  std::int64_t tracked_pages() const override {
+    return static_cast<std::int64_t>(queue_.size());
+  }
+
   std::size_t queued() const { return queue_.size(); }
 
  private:

@@ -44,6 +44,10 @@ class LfuPolicy final : public ReplacementPolicy {
     --size_;
   }
 
+  std::int64_t tracked_pages() const override {
+    return static_cast<std::int64_t>(size_);
+  }
+
  private:
   static constexpr std::uint32_t kMaxFreq = 255;
 

@@ -26,6 +26,10 @@ class LruApproxPolicy final : public ReplacementPolicy {
 
   void on_evict(mm::ResidentPage& page) override;
 
+  std::int64_t tracked_pages() const override {
+    return static_cast<std::int64_t>(active_.size() + inactive_.size());
+  }
+
   std::size_t active_size() const { return active_.size(); }
   std::size_t inactive_size() const { return inactive_.size(); }
   void stats(const StatVisitor& visit) const override;

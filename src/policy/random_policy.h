@@ -35,6 +35,10 @@ class RandomPolicy final : public ReplacementPolicy {
     pages_.pop_back();
   }
 
+  std::int64_t tracked_pages() const override {
+    return static_cast<std::int64_t>(pages_.size());
+  }
+
  private:
   Rng rng_;
   std::vector<mm::ResidentPage*> pages_;

@@ -90,9 +90,18 @@ class ReplacementPolicy {
   /// Policies without stats keep the empty default.
   virtual void stats(const StatVisitor& visit) const { (void)visit; }
 
-  /// Single-key lookup shim over stats() (tests, quick probes). Unknown
-  /// keys return 0; duplicate names (wrapper policies) resolve to the last
-  /// emitted value.
+  /// Number of resident pages this policy currently tracks on its internal
+  /// structures, or -1 when unknown (custom policies that don't override).
+  /// SimCheck's policy-accounting invariant compares this against the page
+  /// registry's resident-set size; every built-in policy reports it.
+  virtual std::int64_t tracked_pages() const { return -1; }
+
+  /// Single-key lookup shim over stats(). Unknown keys return 0; duplicate
+  /// names (wrapper policies) resolve to the last emitted value.
+  [[deprecated(
+      "single-key probes hide typos and cost a full stats() enumeration per "
+      "lookup; visit stats(visitor) once instead (see "
+      "docs/writing-policies.md)")]]
   std::uint64_t stat(std::string_view key) const {
     std::uint64_t out = 0;
     stats([&](std::string_view name, std::uint64_t value) {

@@ -1,0 +1,94 @@
+#include "sim/checker.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+namespace cmcp::sim {
+
+std::string_view to_string(CheckPoint point) {
+  switch (point) {
+    case CheckPoint::kAfterFault: return "after_fault";
+    case CheckPoint::kAfterEviction: return "after_eviction";
+    case CheckPoint::kAfterScan: return "after_scan";
+    case CheckPoint::kEndOfRun: return "end_of_run";
+  }
+  return "?";
+}
+
+std::string format_violation(const CheckViolation& violation,
+                             const trace::EventSink* events) {
+  std::string out = "cmcp: SimCheck invariant violation\n";
+  out += "  checker   : " + violation.checker + "\n";
+  out += "  invariant : " + violation.invariant + "\n";
+  out += "  detail    : " + violation.message + "\n";
+  if (violation.unit != kInvalidUnit)
+    out += "  unit      : " + std::to_string(violation.unit) + "\n";
+  if (violation.core != kInvalidCore)
+    out += "  core      : " + std::to_string(violation.core) + "\n";
+  if (events != nullptr && !events->empty()) {
+    const std::size_t tail =
+        std::min(CheckRegistry::kDiagnosticEventTail, events->size());
+    out += "  last " + std::to_string(tail) + " trace events:\n";
+    const auto& all = events->events();
+    for (std::size_t i = all.size() - tail; i < all.size(); ++i) {
+      const trace::Event& e = all[i];
+      out += "    [" + std::to_string(i) + "] " +
+             std::string(to_string(e.kind)) +
+             " core=" + std::to_string(e.core) +
+             " ts=" + std::to_string(e.start) +
+             " dur=" + std::to_string(e.duration);
+      if (e.unit != kInvalidUnit) out += " unit=" + std::to_string(e.unit);
+      out += '\n';
+    }
+  }
+  return out;
+}
+
+CheckRegistry::CheckRegistry() {
+  strides_[static_cast<unsigned>(CheckPoint::kAfterFault)] = 64;
+  strides_[static_cast<unsigned>(CheckPoint::kAfterEviction)] = 16;
+  strides_[static_cast<unsigned>(CheckPoint::kAfterScan)] = 1;
+  strides_[static_cast<unsigned>(CheckPoint::kEndOfRun)] = 1;
+  handler_ = [this](const CheckViolation& violation) {
+    std::fputs(format_violation(violation, events_).c_str(), stderr);
+    std::abort();
+  };
+}
+
+void CheckRegistry::add(std::unique_ptr<Checker> checker) {
+  checkers_.push_back(std::move(checker));
+}
+
+void CheckRegistry::set_handler(Handler handler) {
+  handler_ = std::move(handler);
+}
+
+void CheckRegistry::set_stride(CheckPoint point, std::uint64_t stride) {
+  strides_[static_cast<unsigned>(point)] = stride;
+}
+
+void CheckRegistry::run(CheckPoint point) {
+  const unsigned idx = static_cast<unsigned>(point);
+  const std::uint64_t stride = strides_[idx];
+  if (stride == 0) return;
+  if (++calls_[idx] % stride != 0) return;
+  run_now(point);
+}
+
+void CheckRegistry::run_now(CheckPoint point) {
+  ++sweeps_;
+  std::vector<CheckViolation> found;
+  for (const auto& checker : checkers_) {
+    found.clear();
+    checker->check(point, found);
+    for (const CheckViolation& violation : found) report(violation);
+  }
+}
+
+void CheckRegistry::report(const CheckViolation& violation) {
+  ++violations_;
+  handler_(violation);
+}
+
+}  // namespace cmcp::sim

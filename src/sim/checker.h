@@ -1,0 +1,139 @@
+// SimCheck — runtime protocol-invariant checking.
+//
+// The paper's argument rests on protocol bookkeeping being exactly right:
+// CMCP's victim ranking is only meaningful if the per-page core-map count
+// always equals the number of per-core PSPT mappings, and the "no remote TLB
+// invalidations for usage tracking" claim only holds if every eviction is
+// provably preceded by shootdowns to precisely the mapping cores. A silent
+// accounting bug would skew every reproduced figure, so the invariants are
+// checked as first-class objects rather than ad-hoc asserts.
+//
+// A Checker examines simulator state at well-defined checkpoints (after an
+// eviction, after a scan pass, at end of run) and reports structured
+// violations. The CheckRegistry owns the checkers, throttles full-state
+// sweeps with per-checkpoint strides, and dispatches violations to a
+// handler — by default a loud abort that prints the offending unit/core and
+// the tail of the structured event trace (when one is attached), so the
+// diagnostic arrives with the protocol history that led to it.
+//
+// Cost discipline: checkers are compiled in only when CMCP_SIMCHECK_ENABLED
+// is 1 (CMake option CMCP_SIMCHECK, default ON outside Release builds).
+// When compiled out, every checkpoint in the fault path disappears
+// entirely — the hot path is byte-for-byte the same simulation, verified by
+// the trace-determinism CI step. Checkers never mutate simulator state, so
+// even a compiled-in, enabled registry changes no virtual-time outcome.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/types.h"
+#include "sim/trace.h"
+
+#if !defined(CMCP_SIMCHECK_ENABLED)
+// Built outside CMake (e.g. a header-only consumer): default to checking.
+#define CMCP_SIMCHECK_ENABLED 1
+#endif
+
+namespace cmcp::sim {
+
+/// One detected invariant violation, structured for programmatic handling
+/// (tests install capturing handlers; the default handler aborts).
+struct CheckViolation {
+  std::string checker;    ///< Checker::name() that reported it
+  std::string invariant;  ///< short rule id, e.g. "core-map-count"
+  std::string message;    ///< human-readable specifics
+  UnitIdx unit = kInvalidUnit;  ///< offending mapping unit, if any
+  CoreId core = kInvalidCore;   ///< offending core, if any
+};
+
+/// Where in the protocol a sweep runs. Eviction/fault sweeps are strided
+/// (full-state checks after every event would be quadratic); scan and
+/// end-of-run sweeps always run.
+enum class CheckPoint : std::uint8_t {
+  kAfterFault = 0,
+  kAfterEviction,
+  kAfterScan,
+  kEndOfRun,
+};
+
+inline constexpr unsigned kNumCheckPoints = 4;
+
+std::string_view to_string(CheckPoint point);
+
+/// One invariant (or family of invariants) over live simulator state.
+/// check() must be read-only with respect to the simulation: it may keep
+/// private history (e.g. last-seen clocks) but must not perturb any state a
+/// policy or the memory manager observes.
+class Checker {
+ public:
+  virtual ~Checker() = default;
+
+  virtual std::string_view name() const = 0;
+
+  /// Examine current state; append one CheckViolation per violated
+  /// invariant. `point` lets history-keeping checkers (clock monotonicity)
+  /// update their baseline on every call.
+  virtual void check(CheckPoint point, std::vector<CheckViolation>& out) = 0;
+};
+
+/// Owns registered checkers and runs them at checkpoints.
+class CheckRegistry {
+ public:
+  using Handler = std::function<void(const CheckViolation&)>;
+
+  CheckRegistry();
+
+  void add(std::unique_ptr<Checker> checker);
+
+  /// Replace the violation handler. The default prints a structured
+  /// diagnostic (plus the last trace events, when an event source is
+  /// attached) and aborts — a violated invariant in a deterministic
+  /// simulator is a bug, never a data artifact.
+  void set_handler(Handler handler);
+
+  /// Attach the run's event sink so diagnostics carry the last protocol
+  /// events leading up to the violation. Non-owning; may be null.
+  void set_event_source(const trace::EventSink* sink) { events_ = sink; }
+
+  /// Sweep throttling: run a full sweep only every `stride`-th call for
+  /// `point` (0 disables that checkpoint entirely). Defaults: fault 64,
+  /// eviction 16, scan 1, end-of-run 1.
+  void set_stride(CheckPoint point, std::uint64_t stride);
+
+  /// Checkpoint entry: honors the stride, then runs every checker and
+  /// dispatches any violations to the handler.
+  void run(CheckPoint point);
+
+  /// Unconditional sweep (ignores strides). Tests and end-of-run use this.
+  void run_now(CheckPoint point);
+
+  std::size_t num_checkers() const { return checkers_.size(); }
+  std::uint64_t sweeps() const { return sweeps_; }
+  std::uint64_t violations() const { return violations_; }
+
+  /// Number of trace events included in a default-handler diagnostic.
+  static constexpr std::size_t kDiagnosticEventTail = 16;
+
+ private:
+  void report(const CheckViolation& violation);
+
+  std::vector<std::unique_ptr<Checker>> checkers_;
+  Handler handler_;
+  const trace::EventSink* events_ = nullptr;
+  std::uint64_t calls_[kNumCheckPoints] = {};
+  std::uint64_t strides_[kNumCheckPoints];
+  std::uint64_t sweeps_ = 0;
+  std::uint64_t violations_ = 0;
+};
+
+/// Format `violation` (and the last few events of `events`, if non-null)
+/// into a multi-line diagnostic. Exposed for the default handler and tests.
+std::string format_violation(const CheckViolation& violation,
+                             const trace::EventSink* events);
+
+}  // namespace cmcp::sim

@@ -57,6 +57,7 @@ class Machine {
   void set_clock(CoreId core, Cycles value) { clocks_[core] = value; }
 
   Tlb& tlb(CoreId core) { return tlbs_[core]; }
+  const Tlb& tlb(CoreId core) const { return tlbs_[core]; }
   metrics::CoreCounters& counters(CoreId core) { return counters_[core]; }
   const metrics::CoreCounters& counters(CoreId core) const { return counters_[core]; }
 

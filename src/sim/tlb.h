@@ -51,6 +51,14 @@ class Tlb {
   std::uint32_t capacity() const { return capacity_; }
   std::size_t occupancy() const { return map_.size(); }
 
+  /// Invoke fn(UnitIdx) for every cached translation, in no particular
+  /// order. Read-only introspection for SimCheck's TLB-vs-PTE invariant;
+  /// does not refresh LRU positions.
+  template <typename Fn>
+  void for_each_entry(Fn&& fn) const {
+    for (const auto& [unit, slot] : map_) fn(unit);
+  }
+
  private:
   static constexpr std::uint32_t kNil = 0xffffffffu;
 

@@ -89,6 +89,70 @@ TEST(CoreMask, ResetClearsEverything) {
   EXPECT_TRUE(m.none());
 }
 
+TEST(CoreMask, EmptyMaskIteratesNothing) {
+  CoreMask m;
+  unsigned calls = 0;
+  m.for_each([&](CoreId) { ++calls; });
+  EXPECT_EQ(calls, 0u);
+  // A set-then-cleared mask is indistinguishable from a fresh one.
+  m.set(17);
+  m.clear(17);
+  EXPECT_TRUE(m.none());
+  m.for_each([&](CoreId) { ++calls; });
+  EXPECT_EQ(calls, 0u);
+  EXPECT_EQ(m, CoreMask{});
+}
+
+TEST(CoreMask, Full64CoreMask) {
+  // A full first word (the common 56-64 core Phi configs) must not bleed
+  // into the second word or lose its boundary bits.
+  const CoreMask m = CoreMask::first_n(64);
+  EXPECT_EQ(m.count(), 64u);
+  EXPECT_TRUE(m.test(0));
+  EXPECT_TRUE(m.test(63));
+  EXPECT_FALSE(m.test(64));
+  std::vector<CoreId> seen;
+  m.for_each([&](CoreId c) { seen.push_back(c); });
+  ASSERT_EQ(seen.size(), 64u);
+  EXPECT_EQ(seen.front(), 0u);
+  EXPECT_EQ(seen.back(), 63u);
+}
+
+TEST(CoreMask, FullCapacityMask) {
+  const CoreMask m = CoreMask::first_n(CoreMask::kMaxCores);
+  EXPECT_EQ(m.count(), CoreMask::kMaxCores);
+  EXPECT_TRUE(m.test(CoreMask::kMaxCores - 1));
+  unsigned calls = 0;
+  CoreId prev = 0;
+  bool first = true;
+  m.for_each([&](CoreId c) {
+    if (!first) {
+      EXPECT_EQ(c, prev + 1);
+    }
+    prev = c;
+    first = false;
+    ++calls;
+  });
+  EXPECT_EQ(calls, CoreMask::kMaxCores);
+}
+
+TEST(CoreMask, ForEachAscendingAcrossAllWordBoundaries) {
+  // One bit in each 64-bit word, plus both edges of a boundary.
+  CoreMask m;
+  const std::vector<CoreId> cores = {0, 63, 64, 127, 128, 191, 192, 255};
+  for (const CoreId c : cores) m.set(c);
+  std::vector<CoreId> seen;
+  m.for_each([&](CoreId c) { seen.push_back(c); });
+  EXPECT_EQ(seen, cores);  // strictly ascending, exactly the set bits
+}
+
+TEST(CoreMask, ClearOnEmptyMaskIsHarmless) {
+  CoreMask m;
+  m.clear(42);
+  EXPECT_TRUE(m.none());
+  EXPECT_EQ(m.count(), 0u);
+}
+
 TEST(CoreMaskDeath, OutOfRangeAborts) {
   CoreMask m;
   EXPECT_DEATH(m.set(CoreMask::kMaxCores), "core < kMaxCores");

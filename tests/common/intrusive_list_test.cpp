@@ -8,6 +8,7 @@ namespace cmcp {
 namespace {
 
 struct Item {
+  explicit Item(int v) : value(v) {}
   int value = 0;
   ListNode node;
 };
@@ -124,6 +125,73 @@ TEST(IntrusiveList, NextOfWalksForward) {
   list.push_back(b);
   EXPECT_EQ(list.next_of(a), &b);
   EXPECT_EQ(list.next_of(b), nullptr);
+}
+
+TEST(IntrusiveList, UnlinkHeadUpdatesFront) {
+  ItemList list;
+  Item a{1}, b{2}, c{3};
+  list.push_back(a);
+  list.push_back(b);
+  list.push_back(c);
+  list.erase(a);
+  EXPECT_EQ(list.front(), &b);
+  EXPECT_EQ(list.back(), &c);
+  EXPECT_EQ(list.size(), 2u);
+  EXPECT_FALSE(ItemList::on_any_list(a));
+  EXPECT_EQ(values(list), (std::vector<int>{2, 3}));
+}
+
+TEST(IntrusiveList, UnlinkTailUpdatesBack) {
+  ItemList list;
+  Item a{1}, b{2}, c{3};
+  list.push_back(a);
+  list.push_back(b);
+  list.push_back(c);
+  list.erase(c);
+  EXPECT_EQ(list.front(), &a);
+  EXPECT_EQ(list.back(), &b);
+  EXPECT_FALSE(ItemList::on_any_list(c));
+  EXPECT_EQ(list.next_of(b), nullptr);
+}
+
+TEST(IntrusiveList, UnlinkOnlyElementLeavesEmptyList) {
+  ItemList list;
+  Item a{1};
+  list.push_back(a);
+  list.erase(a);
+  EXPECT_TRUE(list.empty());
+  EXPECT_EQ(list.front(), nullptr);
+  EXPECT_EQ(list.back(), nullptr);
+  EXPECT_EQ(list.size(), 0u);
+}
+
+TEST(IntrusiveList, RepeatedReinsertionCycles) {
+  // Policies bounce the same ResidentPage between lists thousands of times
+  // (CMCP demote/promote, LRU active/inactive); the links must come back
+  // clean after every cycle.
+  ItemList list;
+  Item a{1}, b{2};
+  for (int i = 0; i < 1000; ++i) {
+    list.push_back(a);
+    list.push_front(b);
+    EXPECT_EQ(list.size(), 2u);
+    EXPECT_EQ(values(list), (std::vector<int>{2, 1}));
+    list.erase(a);
+    EXPECT_TRUE(ItemList::on_any_list(b));
+    EXPECT_FALSE(ItemList::on_any_list(a));
+    EXPECT_EQ(list.pop_front(), &b);
+    EXPECT_TRUE(list.empty());
+  }
+}
+
+TEST(IntrusiveList, MoveToBackOfSingleElementIsNoop) {
+  ItemList list;
+  Item a{1};
+  list.push_back(a);
+  list.move_to_back(a);
+  EXPECT_EQ(list.front(), &a);
+  EXPECT_EQ(list.back(), &a);
+  EXPECT_EQ(list.size(), 1u);
 }
 
 TEST(IntrusiveListDeath, EraseUnlinkedAborts) {

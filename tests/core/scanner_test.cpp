@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "core/memory_manager.h"
+#include "testing/policy_harness.h"
 
 namespace cmcp::core {
 namespace {
@@ -139,7 +140,7 @@ TEST(Scanner, FeedsPolicyScanEvents) {
   f.mm.run_periodic(2 * period);
   f.touch(0, 1);
   f.mm.run_periodic(3 * period);
-  EXPECT_GE(f.mm.policy().stat("promotions"), 1u);
+  EXPECT_GE(testing::stat_of(f.mm.policy(), "promotions"), 1u);
 }
 
 }  // namespace

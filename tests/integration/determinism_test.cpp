@@ -62,8 +62,8 @@ TEST_P(DeterminismTest, DifferentSeedsDiverge) {
 INSTANTIATE_TEST_SUITE_P(Policies, DeterminismTest,
                          ::testing::Values(PolicyKind::kFifo, PolicyKind::kLru,
                                            PolicyKind::kCmcp),
-                         [](const auto& info) {
-                           return std::string(to_string(info.param));
+                         [](const auto& param_info) {
+                           return std::string(to_string(param_info.param));
                          });
 
 // The trace is part of the determinism contract: identical config + seed

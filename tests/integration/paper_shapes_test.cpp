@@ -115,8 +115,8 @@ TEST_P(PaperShapesTest, RegularTablesCostMoreThanPspt) {
 
 INSTANTIATE_TEST_SUITE_P(AllWorkloads, PaperShapesTest,
                          ::testing::ValuesIn(wl::kAllPaperWorkloads),
-                         [](const auto& info) {
-                           return std::string(to_string(info.param));
+                         [](const auto& param_info) {
+                           return std::string(to_string(param_info.param));
                          });
 
 TEST(PaperScaling, RegularTablesStopScalingPsptKeepsScaling) {

@@ -89,8 +89,8 @@ TEST_P(PageTableContractTest, UnmapOfUnmappedAborts) {
 INSTANTIATE_TEST_SUITE_P(BothKinds, PageTableContractTest,
                          ::testing::Values(PageTableKind::kRegular,
                                            PageTableKind::kPspt),
-                         [](const auto& info) {
-                           return std::string(to_string(info.param));
+                         [](const auto& param_info) {
+                           return std::string(to_string(param_info.param));
                          });
 
 // --- organization-specific semantics ---------------------------------------
@@ -121,8 +121,11 @@ TEST(Pspt, MappingPrivatePerCore) {
   Pspt pt(kCores);
   pt.map(2, 5, 42);
   EXPECT_TRUE(pt.has_mapping(2, 5));
-  for (CoreId c = 0; c < kCores; ++c)
-    if (c != 2) EXPECT_FALSE(pt.has_mapping(c, 5)) << "core " << c;
+  for (CoreId c = 0; c < kCores; ++c) {
+    if (c != 2) {
+      EXPECT_FALSE(pt.has_mapping(c, 5)) << "core " << c;
+    }
+  }
 }
 
 TEST(Pspt, CoreMapCountIsExact) {

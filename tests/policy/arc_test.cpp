@@ -60,7 +60,7 @@ TEST(Arc, RefaultFromB1EntersT2AndGrowsTarget) {
   EXPECT_EQ(policy.t2_size(), 1u);
   EXPECT_EQ(policy.b1_size(), 0u);  // consumed
   EXPECT_GT(policy.target(), 0.0);
-  EXPECT_EQ(policy.stat("ghost_hits_b1"), 1u);
+  EXPECT_EQ(testing::stat_of(policy, "ghost_hits_b1"), 1u);
 }
 
 TEST(Arc, RefaultFromB2ShrinksTarget) {
@@ -90,7 +90,7 @@ TEST(Arc, RefaultFromB2ShrinksTarget) {
   auto& a2 = pages.make(1);
   policy.on_insert(a2);  // B2 hit
   EXPECT_LT(policy.target(), before);
-  EXPECT_EQ(policy.stat("ghost_hits_b2"), 1u);
+  EXPECT_EQ(testing::stat_of(policy, "ghost_hits_b2"), 1u);
 }
 
 TEST(Arc, MinorFaultPromotesToT2) {
@@ -103,7 +103,7 @@ TEST(Arc, MinorFaultPromotesToT2) {
   policy.on_core_map_grow(a);
   EXPECT_EQ(policy.t1_size(), 0u);
   EXPECT_EQ(policy.t2_size(), 1u);
-  EXPECT_EQ(policy.stat("promotions"), 1u);
+  EXPECT_EQ(testing::stat_of(policy, "promotions"), 1u);
 }
 
 TEST(Arc, GhostListsBounded) {

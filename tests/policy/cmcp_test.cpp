@@ -44,9 +44,9 @@ TEST(Cmcp, StatsVisitorEnumeratesEveryCounter) {
       "promotions", "displacements", "aged_out", "priority_size", "fifo_size"};
   EXPECT_EQ(names, expected);
   // The key-lookup shim resolves through the same enumeration.
-  EXPECT_EQ(policy.stat("priority_size"), policy.priority_size());
-  EXPECT_EQ(policy.stat("fifo_size"), policy.fifo_size());
-  EXPECT_EQ(policy.stat("no_such_stat"), 0u);
+  EXPECT_EQ(testing::stat_of(policy, "priority_size"), policy.priority_size());
+  EXPECT_EQ(testing::stat_of(policy, "fifo_size"), policy.fifo_size());
+  EXPECT_EQ(testing::stat_of(policy, "no_such_stat"), 0u);
 }
 
 TEST(Cmcp, FillsPriorityGroupUntilFull) {
@@ -75,7 +75,7 @@ TEST(Cmcp, HigherCountDisplacesLowestPriorityPage) {
   auto& high = pages.make(2, 5);
   policy.on_insert(high);
   EXPECT_EQ(policy.priority_size(), 1u);
-  EXPECT_EQ(policy.stat("displacements"), 1u);
+  EXPECT_EQ(testing::stat_of(policy, "displacements"), 1u);
   // The displaced low page is now the FIFO head.
   Cycles extra = 0;
   EXPECT_EQ(policy.pick_victim(0, extra), &low);
@@ -89,7 +89,7 @@ TEST(Cmcp, EqualCountDoesNotDisplace) {
   policy.on_insert(first);
   auto& second = pages.make(2, 3);
   policy.on_insert(second);
-  EXPECT_EQ(policy.stat("displacements"), 0u);
+  EXPECT_EQ(testing::stat_of(policy, "displacements"), 0u);
   Cycles extra = 0;
   EXPECT_EQ(policy.pick_victim(0, extra), &second);  // FIFO head
 }
@@ -181,7 +181,7 @@ TEST(Cmcp, AgingDemotesStalePrioritizedPages) {
   policy.on_tick(3);
   EXPECT_EQ(policy.priority_size(), 0u);
   EXPECT_EQ(policy.fifo_size(), 1u);
-  EXPECT_EQ(policy.stat("aged_out"), 1u);
+  EXPECT_EQ(testing::stat_of(policy, "aged_out"), 1u);
 }
 
 TEST(Cmcp, RemapRefreshesAge) {

@@ -35,7 +35,7 @@ TEST(LruApprox, PromotionRequiresTwoReferencedScans) {
   policy.on_scan(pg, true);
   EXPECT_EQ(policy.active_size(), 1u);
   EXPECT_EQ(policy.inactive_size(), 0u);
-  EXPECT_EQ(policy.stat("promotions"), 1u);
+  EXPECT_EQ(testing::stat_of(policy, "promotions"), 1u);
 }
 
 TEST(LruApprox, UnreferencedInactivePagesAgeInPlace) {
@@ -61,7 +61,7 @@ TEST(LruApprox, DemotionRequiresTwoQuietScans) {
   policy.on_scan(pg, false);  // second quiet window: demoted
   EXPECT_EQ(policy.active_size(), 0u);
   EXPECT_EQ(policy.inactive_size(), 1u);
-  EXPECT_EQ(policy.stat("demotions"), 1u);
+  EXPECT_EQ(testing::stat_of(policy, "demotions"), 1u);
 }
 
 TEST(LruApprox, VictimsComeFromInactiveFirst) {

@@ -42,7 +42,7 @@ TEST(Clock, ReferencedHandGetsSecondChanceAtShootdownCost) {
   EXPECT_EQ(policy.pick_victim(0, extra), &b);
   EXPECT_EQ(extra, host.shootdown_cost);  // clearing a's bit cost a shootdown
   EXPECT_EQ(host.shootdowns(), 1u);
-  EXPECT_EQ(policy.stat("second_chances"), 1u);
+  EXPECT_EQ(testing::stat_of(policy, "second_chances"), 1u);
 }
 
 TEST(Clock, AllReferencedStillYieldsVictim) {
@@ -158,7 +158,7 @@ TEST(DynamicP, AdjustsPOverWindows) {
     policy.on_tick(2 * w);
     policy.on_tick(2 * w + 1);
   }
-  EXPECT_GT(policy.stat("adaptations"), 0u);
+  EXPECT_GT(testing::stat_of(policy, "adaptations"), 0u);
   EXPECT_NE(policy.current_p(), initial);
 }
 
@@ -207,8 +207,8 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(PolicyKind::kFifo, PolicyKind::kLru, PolicyKind::kCmcp,
                       PolicyKind::kClock, PolicyKind::kLfu, PolicyKind::kRandom,
                       PolicyKind::kCmcpDynamicP, PolicyKind::kArc),
-    [](const auto& info) {
-      std::string name(to_string(info.param));
+    [](const auto& param_info) {
+      std::string name(to_string(param_info.param));
       for (char& ch : name)
         if (ch == '-') ch = '_';
       return name;

@@ -1,0 +1,36 @@
+// The deprecated single-key ReplacementPolicy::stat() shim stays available
+// for downstream code during the deprecation window; this is the one test
+// that still exercises it (everything else goes through stats(visitor) /
+// testing::stat_of). Remove together with the shim.
+#include <gtest/gtest.h>
+
+#include "policy/cmcp.h"
+#include "testing/policy_harness.h"
+
+namespace cmcp::policy {
+namespace {
+
+using testing::FakePolicyHost;
+using testing::PageFactory;
+
+// The shim itself is what's under test here.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
+TEST(PolicyStatShim, MatchesStatsVisitorAndDefaultsUnknownKeysToZero) {
+  FakePolicyHost host(/*capacity=*/8, /*cores=*/4);
+  CmcpPolicy policy(host, CmcpConfig{});
+  PageFactory pages;
+  policy.on_insert(pages.make(0, /*core_map_count=*/1));
+  policy.on_insert(pages.make(1, /*core_map_count=*/2));
+
+  EXPECT_EQ(policy.stat("fifo_size"), testing::stat_of(policy, "fifo_size"));
+  EXPECT_EQ(policy.stat("priority_size"),
+            testing::stat_of(policy, "priority_size"));
+  EXPECT_EQ(policy.stat("definitely_not_a_stat"), 0u);
+}
+
+#pragma GCC diagnostic pop
+
+}  // namespace
+}  // namespace cmcp::policy

@@ -72,4 +72,16 @@ std::uint64_t run_trace(policy::ReplacementPolicy& policy, PageFactory& pages,
                         const std::vector<UnitIdx>& trace,
                         std::uint64_t capacity);
 
+/// Single-stat probe for test assertions, built on the stats() visitor
+/// (the supported enumeration API — ReplacementPolicy::stat() is
+/// deprecated). Unknown keys return 0 like the shim did.
+inline std::uint64_t stat_of(const policy::ReplacementPolicy& policy,
+                             std::string_view key) {
+  std::uint64_t out = 0;
+  policy.stats([&](std::string_view name, std::uint64_t value) {
+    if (name == key) out = value;
+  });
+  return out;
+}
+
 }  // namespace cmcp::testing

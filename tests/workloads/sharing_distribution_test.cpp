@@ -84,8 +84,8 @@ TEST_P(SharingTest, NoUnmappedResidentPages) {
 }
 
 INSTANTIATE_TEST_SUITE_P(CoreCounts, SharingTest, ::testing::Values(8, 16, 32),
-                         [](const auto& info) {
-                           return "cores" + std::to_string(info.param);
+                         [](const auto& param_info) {
+                           return "cores" + std::to_string(param_info.param);
                          });
 
 TEST(SharingShape, CgIsMorePrivateThanBt) {

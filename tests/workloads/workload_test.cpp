@@ -164,8 +164,8 @@ TEST_P(PaperWorkloadTest, BigSizeHasLargerFootprint) {
 
 INSTANTIATE_TEST_SUITE_P(AllPaperWorkloads, PaperWorkloadTest,
                          ::testing::ValuesIn(kAllPaperWorkloads),
-                         [](const auto& info) {
-                           return std::string(to_string(info.param));
+                         [](const auto& param_info) {
+                           return std::string(to_string(param_info.param));
                          });
 
 TEST(WorkloadFactory, PaperFractionsMatchSection54) {

@@ -1,6 +1,6 @@
 // cmcp_sim — command-line front end for single simulation runs.
 //
-//   cmcp_sim --workload bt --cores 56 --policy cmcp --p 0.9 \
+//   cmcp_sim --workload bt --cores 56 --policy cmcp --p 0.9
 //            --fraction 0.64 --page-size 4k [--pt pspt] [--seed 42]
 //            [--size small|big] [--prefetch N] [--hw-tlb] [--preload]
 //            [--csv out.csv] [--json out.json] [--trace out.trace.json]

@@ -1,0 +1,52 @@
+// trace_lint — offline protocol linter for JSONL event traces.
+//
+// Usage: trace_lint <trace.jsonl> [more traces...]
+//        trace_lint -          (read one trace from stdin)
+//
+// Exit status: 0 all traces clean, 1 violations found, 2 usage / IO error.
+// Diagnostics print as "path:line: [rule] message" so editors and CI
+// annotations can jump to the offending line.
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "check/trace_lint.h"
+
+namespace {
+
+void print_issues(const std::string& path,
+                  const cmcp::check::LintResult& result) {
+  for (const cmcp::check::LintIssue& issue : result.issues)
+    std::fprintf(stderr, "%s:%zu: [%s] %s\n", path.c_str(), issue.line,
+                 issue.rule.c_str(), issue.message.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s <trace.jsonl>... | -\n", argv[0]);
+    return 2;
+  }
+
+  bool violations = false;
+  bool io_error = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string path = argv[i];
+    const cmcp::check::LintResult result =
+        path == "-" ? cmcp::check::lint_jsonl_trace(std::cin)
+                    : cmcp::check::lint_trace_file(path);
+    if (result.ok()) {
+      std::fprintf(stderr, "%s: OK (%llu events)\n", path.c_str(),
+                   static_cast<unsigned long long>(result.events));
+      continue;
+    }
+    print_issues(path, result);
+    for (const cmcp::check::LintIssue& issue : result.issues)
+      if (issue.rule == "io-error") io_error = true;
+    violations = true;
+  }
+  if (io_error) return 2;
+  return violations ? 1 : 0;
+}
