@@ -15,6 +15,13 @@
 namespace cmcp {
 namespace {
 
+// Unit-id space for benchmarks that stream fresh units. The page tables and
+// the registry are direct-indexed by unit, so an unbounded `++u` would grow
+// their backing arrays for the whole run; wrapping keeps them at a fixed
+// working-set size. A wrapped id returns long after it was unmapped/evicted
+// (resident sets here are <= 4096 units), so ids never collide.
+constexpr UnitIdx kUnitSpace = 1u << 16;
+
 void BM_TlbLookupHit(benchmark::State& state) {
   sim::Tlb tlb(64);
   for (UnitIdx u = 0; u < 64; ++u) tlb.insert(u);
@@ -30,7 +37,8 @@ void BM_TlbMissInsertEvict(benchmark::State& state) {
   sim::Tlb tlb(64);
   UnitIdx u = 0;
   for (auto _ : state) {
-    tlb.insert(u++);
+    tlb.insert(u);
+    u = (u + 1) % kUnitSpace;
   }
 }
 BENCHMARK(BM_TlbMissInsertEvict);
@@ -43,7 +51,7 @@ void BM_PsptMapUnmap(benchmark::State& state) {
     for (CoreId c = 0; c < cores; ++c) pt.map(c, u, u * 8);
     benchmark::DoNotOptimize(pt.core_map_count(u));
     pt.unmap_all(u);
-    ++u;
+    u = (u + 1) % kUnitSpace;
   }
 }
 BENCHMARK(BM_PsptMapUnmap)->Arg(1)->Arg(4)->Arg(16)->Arg(56);
@@ -54,7 +62,7 @@ void BM_RegularMapUnmap(benchmark::State& state) {
   for (auto _ : state) {
     pt.map(0, u, u * 8);
     pt.unmap_all(u);
-    ++u;
+    u = (u + 1) % kUnitSpace;
   }
 }
 BENCHMARK(BM_RegularMapUnmap);
@@ -83,7 +91,8 @@ void BM_FifoInsertEvict(benchmark::State& state) {
     mm::ResidentPage* victim = policy.pick_victim(0, extra);
     policy.on_evict(*victim);
     pages.registry().erase(*victim);
-    auto& pg = pages.make(next++);
+    auto& pg = pages.make(next);
+    next = (next + 1) % kUnitSpace;
     policy.on_insert(pg);
   }
 }
@@ -104,7 +113,8 @@ void BM_CmcpInsertEvict(benchmark::State& state) {
     mm::ResidentPage* victim = policy.pick_victim(0, extra);
     policy.on_evict(*victim);
     pages.registry().erase(*victim);
-    auto& pg = pages.make(next++, 1 + rng.next_below(8));
+    auto& pg = pages.make(next, 1 + rng.next_below(8));
+    next = (next + 1) % kUnitSpace;
     policy.on_insert(pg);
   }
 }

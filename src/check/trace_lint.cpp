@@ -1,5 +1,6 @@
 #include "check/trace_lint.h"
 
+#include <algorithm>
 #include <array>
 #include <cctype>
 #include <fstream>
@@ -9,6 +10,7 @@
 #include <string_view>
 #include <unordered_map>
 #include <unordered_set>
+#include <vector>
 
 #include "common/types.h"
 #include "sim/trace.h"
@@ -293,11 +295,18 @@ class Linter {
     }
     // by_kind cross-check: every kind we counted must appear with the same
     // count (kinds with zero occurrences are omitted by the exporter).
-    for (const auto& [kind, count] : by_kind_) {
+    // Sorted so mismatch issues come out in a stable order regardless of
+    // hash-table layout (docs/invariants.md: iteration order is result).
+    std::vector<std::string_view> kinds;
+    kinds.reserve(by_kind_.size());
+    for (const auto& [kind, count] : by_kind_) kinds.push_back(kind);
+    std::sort(kinds.begin(), kinds.end());
+    for (const std::string_view kind : kinds) {
+      const std::uint64_t count = by_kind_.find(std::string(kind))->second;
       const auto claimed = find_uint(text, kind);
       if (!claimed || *claimed != count)
         issue(number, "summary-count-mismatch",
-              "summary by_kind." + kind + " = " +
+              "summary by_kind." + std::string(kind) + " = " +
                   (claimed ? std::to_string(*claimed) : std::string("absent")) +
                   " but the stream has " + std::to_string(count));
     }

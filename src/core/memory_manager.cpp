@@ -12,10 +12,15 @@ namespace cmcp::core {
 
 namespace {
 
-std::unique_ptr<mm::PageTable> make_page_table(PageTableKind kind, CoreId cores) {
+std::unique_ptr<mm::PageTable> make_page_table(PageTableKind kind, CoreId cores,
+                                               UnitIdx num_units) {
+  std::unique_ptr<mm::PageTable> pt;
   if (kind == PageTableKind::kRegular)
-    return std::make_unique<mm::RegularPageTable>(cores);
-  return std::make_unique<mm::Pspt>(cores);
+    pt = std::make_unique<mm::RegularPageTable>(cores);
+  else
+    pt = std::make_unique<mm::Pspt>(cores);
+  pt->reserve_units(num_units);
+  return pt;
 }
 
 }  // namespace
@@ -39,11 +44,19 @@ MemoryManager::MemoryManager(sim::Machine& machine, const mm::ComputationArea& a
     : machine_(machine),
       area_(area),
       config_(config),
-      page_table_(make_page_table(config.pt_kind, machine.num_cores())),
+      page_table_(
+          make_page_table(config.pt_kind, machine.num_cores(), area.num_units())),
       allocator_(config.capacity_units, area.page_size()),
       policy_(config.custom_policy ? config.custom_policy(*this)
                                    : policy::make_policy(*this, config.policy)) {
   CMCP_CHECK(config_.capacity_units > 0);
+  // Dense unit-indexed storage (docs/performance.md) is sized once here so
+  // the per-access path never grows a vector: the registry's unit index and
+  // every TLB's unit -> slot array (app cores + the scanner pseudo-core).
+  registry_.reserve_units(area_.num_units());
+  for (CoreId c = 0; c <= machine_.num_cores(); ++c)
+    machine_.tlb(c).reserve_units(area_.num_units());
+  scan_flush_.reserve(machine_.cost().scanner_flush_batch);
   next_tick_ = machine_.cost().scan_period;
   if (config_.preload) {
     CMCP_CHECK_MSG(config_.capacity_units >= area_.num_units(),
@@ -344,8 +357,10 @@ void MemoryManager::run_periodic(Cycles watermark) {
       std::uint64_t scanned = 0;
       std::uint64_t cleared = 0;
       std::uint64_t flush_rounds = 0;
-      std::vector<sim::Machine::BatchItem> flush;
-      flush.reserve(cost.scanner_flush_batch);
+      // Reused across scan passes (reserved once in the constructor) so a
+      // sweep allocates nothing.
+      std::vector<sim::Machine::BatchItem>& flush = scan_flush_;
+      flush.clear();
       const auto flush_batch = [&] {
         if (flush.empty()) return;
         ++flush_rounds;
@@ -395,6 +410,8 @@ void MemoryManager::run_periodic(Cycles watermark) {
 
 std::vector<std::uint64_t> MemoryManager::sharing_histogram() const {
   std::vector<std::uint64_t> hist(machine_.num_cores() + 1, 0);
+  // core_map_count is one indexed load per unit (dense directory), so this
+  // whole histogram is a single linear sweep.
   for (UnitIdx unit = 0; unit < area_.num_units(); ++unit) {
     const unsigned c = page_table_->core_map_count(unit);
     if (c > 0) ++hist[std::min<std::size_t>(c, hist.size() - 1)];

@@ -123,6 +123,10 @@ class MemoryManager final : public policy::PolicyHost {
 
   sim::CheckRegistry* checks_ = nullptr;  ///< non-owning; null = unchecked
 
+  /// Scanner shootdown batch, reused across scan passes (reserved once in
+  /// the constructor so a sweep allocates nothing).
+  std::vector<sim::Machine::BatchItem> scan_flush_;
+
   Cycles next_tick_ = 0;
   std::uint64_t scans_completed_ = 0;
   /// Pinned mode: preloaded with full capacity — no evictions ever, policy

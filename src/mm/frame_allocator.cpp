@@ -10,7 +10,7 @@ FrameAllocator::FrameAllocator(std::uint64_t capacity, PageSizeClass size)
   free_.reserve(capacity);
   // LIFO free list; hand out ascending frame numbers first.
   for (std::uint64_t i = capacity; i-- > 0;) free_.push_back(i * frames_per_unit_);
-  allocated_.assign(capacity, false);
+  allocated_.assign(capacity, 0);
 }
 
 Pfn FrameAllocator::allocate() {
@@ -18,8 +18,8 @@ Pfn FrameAllocator::allocate() {
   const Pfn pfn = free_.back();
   free_.pop_back();
   const auto slot = pfn / frames_per_unit_;
-  CMCP_CHECK(!allocated_[slot]);
-  allocated_[slot] = true;
+  CMCP_CHECK(allocated_[slot] == 0);
+  allocated_[slot] = 1;
   return pfn;
 }
 
@@ -27,8 +27,8 @@ void FrameAllocator::free(Pfn pfn) {
   CMCP_CHECK(pfn % frames_per_unit_ == 0);
   const auto slot = pfn / frames_per_unit_;
   CMCP_CHECK(slot < capacity_);
-  CMCP_CHECK_MSG(allocated_[slot], "double free of device frame");
-  allocated_[slot] = false;
+  CMCP_CHECK_MSG(allocated_[slot] != 0, "double free of device frame");
+  allocated_[slot] = 0;
   free_.push_back(pfn);
 }
 

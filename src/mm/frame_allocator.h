@@ -34,8 +34,10 @@ class FrameAllocator {
   std::uint64_t frames_per_unit_;
   std::vector<Pfn> free_;
   /// Double-free / double-allocate detection (always on: the check is one
-  /// bit test per event and eviction bugs corrupt every statistic).
-  std::vector<bool> allocated_;
+  /// byte test per event and eviction bugs corrupt every statistic). Byte
+  /// storage, not vector<bool>: the proxy-reference bit masking costs more
+  /// than the byte it saves on a structure this small.
+  std::vector<std::uint8_t> allocated_;
 };
 
 }  // namespace cmcp::mm

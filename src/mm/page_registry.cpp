@@ -18,27 +18,20 @@ ResidentPage& PageRegistry::insert(UnitIdx unit, Pfn pfn, Cycles now) {
   page->pfn = pfn;
   page->seq = next_seq_++;
   page->inserted_at = now;
-  auto [it, inserted] = map_.emplace(unit, page);
-  CMCP_CHECK_MSG(inserted, "unit already resident");
+  if (unit >= by_unit_.size()) reserve_units(unit + 1);
+  CMCP_CHECK_MSG(by_unit_[unit] == nullptr, "unit already resident");
+  by_unit_[unit] = page;
+  ++size_;
   return *page;
 }
 
 void PageRegistry::erase(ResidentPage& page) {
   CMCP_CHECK_MSG(!page.main_node.linked() && !page.aux_node.linked(),
                  "evicting a page still on a policy list");
-  const auto erased = map_.erase(page.unit);
-  CMCP_CHECK(erased == 1);
+  CMCP_CHECK(page.unit < by_unit_.size() && by_unit_[page.unit] == &page);
+  by_unit_[page.unit] = nullptr;
+  --size_;
   free_.push_back(&page);
-}
-
-ResidentPage* PageRegistry::find(UnitIdx unit) {
-  auto it = map_.find(unit);
-  return it == map_.end() ? nullptr : it->second;
-}
-
-const ResidentPage* PageRegistry::find(UnitIdx unit) const {
-  auto it = map_.find(unit);
-  return it == map_.end() ? nullptr : it->second;
 }
 
 }  // namespace cmcp::mm

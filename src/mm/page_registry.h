@@ -3,12 +3,15 @@
 //
 // ResidentPage objects are pool-allocated and pointer-stable for their
 // residency lifetime, so policies can keep them on intrusive lists without
-// extra allocation on the fault path.
+// extra allocation on the fault path. The unit -> page index is a dense
+// direct-indexed vector (docs/performance.md): find() is one load, and
+// for_each — the scanner's and SimCheck's view of the resident set —
+// iterates in ascending unit order, which makes every downstream
+// tie-break independent of hash-table layout (docs/invariants.md).
 #pragma once
 
 #include <cstdint>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "common/intrusive_list.h"
@@ -51,25 +54,39 @@ class PageRegistry {
   /// every policy list.
   void erase(ResidentPage& page);
 
-  ResidentPage* find(UnitIdx unit);
-  const ResidentPage* find(UnitIdx unit) const;
-
-  std::size_t size() const { return map_.size(); }
-
-  /// Iterate all resident pages (scanner); fn must not insert/erase.
-  template <typename Fn>
-  void for_each(Fn&& fn) {
-    for (auto& [unit, page] : map_) fn(*page);
+  ResidentPage* find(UnitIdx unit) {
+    return unit < by_unit_.size() ? by_unit_[unit] : nullptr;
+  }
+  const ResidentPage* find(UnitIdx unit) const {
+    return unit < by_unit_.size() ? by_unit_[unit] : nullptr;
   }
 
-  /// Read-only iteration (SimCheck sweeps, exporters).
+  std::size_t size() const { return size_; }
+
+  /// Size the index for units [0, n) so steady-state insert() never grows
+  /// it (the memory manager calls this with the area's num_units()).
+  void reserve_units(UnitIdx n) {
+    if (n > by_unit_.size()) by_unit_.resize(n, nullptr);
+  }
+
+  /// Iterate all resident pages in ascending unit order (scanner); fn must
+  /// not insert/erase.
+  template <typename Fn>
+  void for_each(Fn&& fn) {
+    for (ResidentPage* page : by_unit_)
+      if (page != nullptr) fn(*page);
+  }
+
+  /// Read-only iteration (SimCheck sweeps, exporters), ascending unit order.
   template <typename Fn>
   void for_each(Fn&& fn) const {
-    for (const auto& [unit, page] : map_) fn(static_cast<const ResidentPage&>(*page));
+    for (const ResidentPage* page : by_unit_)
+      if (page != nullptr) fn(*page);
   }
 
  private:
-  std::unordered_map<UnitIdx, ResidentPage*> map_;
+  std::vector<ResidentPage*> by_unit_;  ///< [unit] -> resident page or null
+  std::size_t size_ = 0;
   std::vector<std::unique_ptr<ResidentPage>> pool_;
   std::vector<ResidentPage*> free_;
   std::uint64_t next_seq_ = 0;

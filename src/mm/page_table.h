@@ -67,6 +67,13 @@ class PageTable {
 
   /// Resident units currently mapped (for scanner iteration).
   virtual std::uint64_t mapped_units() const = 0;
+
+  /// Size the table for units [0, n). Both implementations store per-unit
+  /// state in dense direct-indexed arrays (docs/performance.md); the memory
+  /// manager calls this once with the computation area's num_units() so the
+  /// per-access path never grows storage. Optional: tables also grow lazily
+  /// on map(), which keeps ad-hoc construction in tests cheap.
+  virtual void reserve_units(UnitIdx n) = 0;
 };
 
 }  // namespace cmcp::mm

@@ -4,131 +4,150 @@
 
 namespace cmcp::mm {
 
-Pspt::Pspt(CoreId num_cores) : num_cores_(num_cores), tables_(num_cores) {}
+Pspt::Pspt(CoreId num_cores)
+    : num_cores_(num_cores), tables_(num_cores), mapped_of_core_(num_cores, 0) {}
+
+void Pspt::reserve_units(UnitIdx n) {
+  if (n <= directory_.size()) return;
+  directory_.resize(n);
+  for (auto& table : tables_) table.resize(n, 0);
+}
+
+void Pspt::ensure_unit(UnitIdx unit) {
+  if (unit >= directory_.size()) reserve_units(unit + 1);
+}
 
 bool Pspt::has_mapping(CoreId core, UnitIdx unit) const {
   CMCP_CHECK(core < num_cores_);
-  return tables_[core].contains(unit);
+  const auto& table = tables_[core];
+  return unit < table.size() && (table[unit] & kValid) != 0;
 }
 
-bool Pspt::any_mapping(UnitIdx unit) const { return directory_.contains(unit); }
+bool Pspt::any_mapping(UnitIdx unit) const {
+  return unit < directory_.size() && directory_[unit].present;
+}
 
 void Pspt::map(CoreId core, UnitIdx unit, Pfn pfn) {
   CMCP_CHECK(core < num_cores_);
-  auto [pte_it, pte_inserted] = tables_[core].try_emplace(unit, Pte{.pfn = pfn});
-  CMCP_CHECK_MSG(pte_inserted, "core already maps this unit");
-  auto [dir_it, dir_inserted] =
-      directory_.try_emplace(unit, UnitInfo{.pfn = pfn, .mapping = {}, .count = 0});
-  UnitInfo& info = dir_it->second;
+  ensure_unit(unit);
+  std::uint8_t& pte = tables_[core][unit];
+  CMCP_CHECK_MSG((pte & kValid) == 0, "core already maps this unit");
+  UnitInfo& info = directory_[unit];
+  if (!info.present) {
+    info.present = true;
+    info.pfn = pfn;
+    ++mapped_units_;
+  }
   // Private PTEs for the same virtual address must define the same
   // translation on every core (paper section 2.3).
   CMCP_CHECK_MSG(info.pfn == pfn, "PSPT coherence violation: divergent pfn");
   CMCP_CHECK(!info.mapping.test(core));
+  pte = kValid;
   info.mapping.set(core);
   ++info.count;
+  ++mapped_of_core_[core];
 }
 
 CoreMask Pspt::unmap_all(UnitIdx unit) {
-  auto it = directory_.find(unit);
-  CMCP_CHECK_MSG(it != directory_.end(), "unmap of an unmapped unit");
-  const CoreMask affected = it->second.mapping;
+  CMCP_CHECK_MSG(unit < directory_.size() && directory_[unit].present,
+                 "unmap of an unmapped unit");
+  UnitInfo& info = directory_[unit];
+  const CoreMask affected = info.mapping;
   affected.for_each([&](CoreId core) {
-    const auto erased = tables_[core].erase(unit);
-    CMCP_CHECK(erased == 1);
+    std::uint8_t& pte = tables_[core][unit];
+    CMCP_CHECK((pte & kValid) != 0);
+    pte = 0;
+    --mapped_of_core_[core];
   });
-  directory_.erase(it);
+  info = UnitInfo{};
+  --mapped_units_;
   return affected;
 }
 
 CoreMask Pspt::mapping_cores(UnitIdx unit) const {
-  auto it = directory_.find(unit);
-  return it == directory_.end() ? CoreMask{} : it->second.mapping;
+  return unit < directory_.size() ? directory_[unit].mapping : CoreMask{};
 }
 
 unsigned Pspt::core_map_count(UnitIdx unit) const {
-  auto it = directory_.find(unit);
-  return it == directory_.end() ? 0 : it->second.count;
+  return unit < directory_.size() ? directory_[unit].count : 0;
 }
 
 Pfn Pspt::pfn_of(UnitIdx unit) const {
-  auto it = directory_.find(unit);
-  return it == directory_.end() ? kInvalidPfn : it->second.pfn;
+  return unit < directory_.size() && directory_[unit].present
+             ? directory_[unit].pfn
+             : kInvalidPfn;
 }
 
 void Pspt::mark_accessed(CoreId core, UnitIdx unit) {
-  auto it = tables_[core].find(unit);
-  CMCP_CHECK(it != tables_[core].end());
-  it->second.accessed = true;
+  CMCP_CHECK(core < num_cores_);
+  auto& table = tables_[core];
+  CMCP_CHECK(unit < table.size() && (table[unit] & kValid) != 0);
+  table[unit] |= kAccessed;
 }
 
 void Pspt::mark_dirty(CoreId core, UnitIdx unit) {
-  auto it = tables_[core].find(unit);
-  CMCP_CHECK(it != tables_[core].end());
-  it->second.dirty = true;
+  CMCP_CHECK(core < num_cores_);
+  auto& table = tables_[core];
+  CMCP_CHECK(unit < table.size() && (table[unit] & kValid) != 0);
+  table[unit] |= kDirty;
 }
 
 bool Pspt::test_accessed(UnitIdx unit, unsigned* pte_reads) const {
-  auto it = directory_.find(unit);
-  if (it == directory_.end()) {
+  if (unit >= directory_.size() || !directory_[unit].present) {
     if (pte_reads != nullptr) *pte_reads = 0;
     return false;
   }
   // The scanner must consult every mapping core's private PTE.
   unsigned reads = 0;
   bool accessed = false;
-  it->second.mapping.for_each([&](CoreId core) {
+  directory_[unit].mapping.for_each([&](CoreId core) {
     ++reads;
-    auto pte = tables_[core].find(unit);
-    CMCP_CHECK(pte != tables_[core].end());
-    if (pte->second.accessed) accessed = true;
+    const std::uint8_t pte = tables_[core][unit];
+    CMCP_CHECK((pte & kValid) != 0);
+    if ((pte & kAccessed) != 0) accessed = true;
   });
   if (pte_reads != nullptr) *pte_reads = reads;
   return accessed;
 }
 
 bool Pspt::clear_accessed(UnitIdx unit) {
-  auto it = directory_.find(unit);
-  if (it == directory_.end()) return false;
+  if (unit >= directory_.size() || !directory_[unit].present) return false;
   bool was = false;
-  it->second.mapping.for_each([&](CoreId core) {
-    auto pte = tables_[core].find(unit);
-    CMCP_CHECK(pte != tables_[core].end());
-    was = was || pte->second.accessed;
-    pte->second.accessed = false;
+  directory_[unit].mapping.for_each([&](CoreId core) {
+    std::uint8_t& pte = tables_[core][unit];
+    CMCP_CHECK((pte & kValid) != 0);
+    was = was || (pte & kAccessed) != 0;
+    pte &= static_cast<std::uint8_t>(~kAccessed);
   });
   return was;
 }
 
 bool Pspt::test_dirty(UnitIdx unit) const {
-  auto it = directory_.find(unit);
-  if (it == directory_.end()) return false;
+  if (unit >= directory_.size() || !directory_[unit].present) return false;
   bool dirty = false;
-  it->second.mapping.for_each([&](CoreId core) {
-    auto pte = tables_[core].find(unit);
-    if (pte != tables_[core].end() && pte->second.dirty) dirty = true;
+  directory_[unit].mapping.for_each([&](CoreId core) {
+    if ((tables_[core][unit] & kDirty) != 0) dirty = true;
   });
   return dirty;
 }
 
+void Pspt::clear_dirty(UnitIdx unit) {
+  if (unit >= directory_.size() || !directory_[unit].present) return;
+  directory_[unit].mapping.for_each([&](CoreId core) {
+    tables_[core][unit] &= static_cast<std::uint8_t>(~kDirty);
+  });
+}
+
 void Pspt::corrupt_count_for_test(UnitIdx unit, unsigned count) {
-  auto it = directory_.find(unit);
-  CMCP_CHECK_MSG(it != directory_.end(), "corrupting an unmapped unit");
-  it->second.count = count;
+  CMCP_CHECK_MSG(unit < directory_.size() && directory_[unit].present,
+                 "corrupting an unmapped unit");
+  directory_[unit].count = count;
 }
 
 void Pspt::corrupt_mask_add_core_for_test(UnitIdx unit, CoreId core) {
-  auto it = directory_.find(unit);
-  CMCP_CHECK_MSG(it != directory_.end(), "corrupting an unmapped unit");
-  it->second.mapping.set(core);
-}
-
-void Pspt::clear_dirty(UnitIdx unit) {
-  auto it = directory_.find(unit);
-  if (it == directory_.end()) return;
-  it->second.mapping.for_each([&](CoreId core) {
-    auto pte = tables_[core].find(unit);
-    if (pte != tables_[core].end()) pte->second.dirty = false;
-  });
+  CMCP_CHECK_MSG(unit < directory_.size() && directory_[unit].present,
+                 "corrupting an unmapped unit");
+  directory_[unit].mapping.set(core);
 }
 
 }  // namespace cmcp::mm

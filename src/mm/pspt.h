@@ -5,9 +5,16 @@
 // mapping-core mask, giving O(1) answers to the two questions regular tables
 // cannot answer: "whose TLB can hold this translation?" (shootdown targeting)
 // and "how many cores map this page?" (CMCP's priority signal).
+//
+// Storage is dense and direct-indexed (docs/performance.md): the unit index
+// is the slot. The per-core "PTE" is a single flag byte — the frame number
+// need not be replicated per core because the PSPT coherence invariant
+// (all private PTEs of a virtual page name the same frame) pins it to the
+// directory entry. Every query on the per-access path is one or two indexed
+// loads; no hashing anywhere.
 #pragma once
 
-#include <unordered_map>
+#include <cstdint>
 #include <vector>
 
 #include "mm/page_table.h"
@@ -34,11 +41,13 @@ class Pspt final : public PageTable {
   bool clear_accessed(UnitIdx unit) override;
   bool test_dirty(UnitIdx unit) const override;
   void clear_dirty(UnitIdx unit) override;
-  std::uint64_t mapped_units() const override { return directory_.size(); }
+  std::uint64_t mapped_units() const override { return mapped_units_; }
+
+  void reserve_units(UnitIdx n) override;
 
   /// Per-core view, for tests and the Fig. 6 analysis.
   std::uint64_t mapped_units_of_core(CoreId core) const {
-    return tables_[core].size();
+    return mapped_of_core_[core];
   }
 
   // --- test-only fault injection ------------------------------------------
@@ -49,21 +58,34 @@ class Pspt final : public PageTable {
   void corrupt_mask_add_core_for_test(UnitIdx unit, CoreId core);
 
  private:
-  struct Pte {
-    Pfn pfn = kInvalidPfn;
-    bool accessed = false;
-    bool dirty = false;
+  /// Private-PTE flag byte. kValid doubles as "entry exists" — a zero byte
+  /// is exactly "this core does not map this unit", so freshly grown
+  /// storage is correct without initialization beyond zeroing.
+  enum PteFlags : std::uint8_t {
+    kValid = 1u << 0,
+    kAccessed = 1u << 1,
+    kDirty = 1u << 2,
   };
 
   struct UnitInfo {
     Pfn pfn = kInvalidPfn;
     CoreMask mapping;
     unsigned count = 0;
+    /// Directory entry liveness. Deliberately separate from `count`, which
+    /// the corruption test hooks may set to arbitrary values (including 0)
+    /// without the unit ceasing to exist.
+    bool present = false;
   };
 
+  /// Grow per-unit storage to cover `unit` (amortized; steady-state runs
+  /// never hit the growth path because MemoryManager pre-reserves).
+  void ensure_unit(UnitIdx unit);
+
   CoreId num_cores_;
-  std::vector<std::unordered_map<UnitIdx, Pte>> tables_;  ///< per-core PTEs
-  std::unordered_map<UnitIdx, UnitInfo> directory_;
+  std::vector<std::vector<std::uint8_t>> tables_;  ///< [core][unit] flag byte
+  std::vector<UnitInfo> directory_;                ///< [unit]
+  std::vector<std::uint64_t> mapped_of_core_;      ///< [core] valid PTE count
+  std::uint64_t mapped_units_ = 0;                 ///< present directory entries
 };
 
 }  // namespace cmcp::mm

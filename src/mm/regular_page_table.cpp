@@ -7,72 +7,86 @@ namespace cmcp::mm {
 RegularPageTable::RegularPageTable(CoreId num_cores)
     : num_cores_(num_cores), all_cores_(CoreMask::first_n(num_cores)) {}
 
-bool RegularPageTable::has_mapping(CoreId /*core*/, UnitIdx unit) const {
-  return entries_.contains(unit);
+void RegularPageTable::reserve_units(UnitIdx n) {
+  if (n > entries_.size()) entries_.resize(n);
 }
 
-bool RegularPageTable::any_mapping(UnitIdx unit) const { return entries_.contains(unit); }
+bool RegularPageTable::has_mapping(CoreId /*core*/, UnitIdx unit) const {
+  return entry(unit) != nullptr;
+}
+
+bool RegularPageTable::any_mapping(UnitIdx unit) const {
+  return entry(unit) != nullptr;
+}
 
 void RegularPageTable::map(CoreId /*core*/, UnitIdx unit, Pfn pfn) {
-  auto [it, inserted] = entries_.try_emplace(unit, Entry{.pfn = pfn});
-  CMCP_CHECK_MSG(inserted || it->second.pfn == pfn, "remap to a different frame");
+  if (unit >= entries_.size()) reserve_units(unit + 1);
+  Entry& e = entries_[unit];
+  if ((e.flags & kPresent) == 0) {
+    e = Entry{.pfn = pfn, .flags = kPresent};
+    ++mapped_;
+    return;
+  }
+  CMCP_CHECK_MSG(e.pfn == pfn, "remap to a different frame");
 }
 
 CoreMask RegularPageTable::unmap_all(UnitIdx unit) {
-  const auto erased = entries_.erase(unit);
-  CMCP_CHECK_MSG(erased == 1, "unmap of an unmapped unit");
+  Entry* e = entry(unit);
+  CMCP_CHECK_MSG(e != nullptr, "unmap of an unmapped unit");
+  *e = Entry{};
+  --mapped_;
   // Centralized book-keeping: any core may have cached this translation.
   return all_cores_;
 }
 
 CoreMask RegularPageTable::mapping_cores(UnitIdx unit) const {
-  return entries_.contains(unit) ? all_cores_ : CoreMask{};
+  return entry(unit) != nullptr ? all_cores_ : CoreMask{};
 }
 
 unsigned RegularPageTable::core_map_count(UnitIdx unit) const {
   // The precise count is unobtainable; report the pessimistic bound.
-  return entries_.contains(unit) ? num_cores_ : 0;
+  return entry(unit) != nullptr ? num_cores_ : 0;
 }
 
 Pfn RegularPageTable::pfn_of(UnitIdx unit) const {
-  auto it = entries_.find(unit);
-  return it == entries_.end() ? kInvalidPfn : it->second.pfn;
+  const Entry* e = entry(unit);
+  return e == nullptr ? kInvalidPfn : e->pfn;
 }
 
 void RegularPageTable::mark_accessed(CoreId /*core*/, UnitIdx unit) {
-  auto it = entries_.find(unit);
-  CMCP_CHECK(it != entries_.end());
-  it->second.accessed = true;
+  Entry* e = entry(unit);
+  CMCP_CHECK(e != nullptr);
+  e->flags |= kAccessed;
 }
 
 void RegularPageTable::mark_dirty(CoreId /*core*/, UnitIdx unit) {
-  auto it = entries_.find(unit);
-  CMCP_CHECK(it != entries_.end());
-  it->second.dirty = true;
+  Entry* e = entry(unit);
+  CMCP_CHECK(e != nullptr);
+  e->flags |= kDirty;
 }
 
 bool RegularPageTable::test_accessed(UnitIdx unit, unsigned* pte_reads) const {
   if (pte_reads != nullptr) *pte_reads = 1;
-  auto it = entries_.find(unit);
-  return it != entries_.end() && it->second.accessed;
+  const Entry* e = entry(unit);
+  return e != nullptr && (e->flags & kAccessed) != 0;
 }
 
 bool RegularPageTable::clear_accessed(UnitIdx unit) {
-  auto it = entries_.find(unit);
-  if (it == entries_.end()) return false;
-  const bool was = it->second.accessed;
-  it->second.accessed = false;
+  Entry* e = entry(unit);
+  if (e == nullptr) return false;
+  const bool was = (e->flags & kAccessed) != 0;
+  e->flags &= static_cast<std::uint8_t>(~kAccessed);
   return was;
 }
 
 bool RegularPageTable::test_dirty(UnitIdx unit) const {
-  auto it = entries_.find(unit);
-  return it != entries_.end() && it->second.dirty;
+  const Entry* e = entry(unit);
+  return e != nullptr && (e->flags & kDirty) != 0;
 }
 
 void RegularPageTable::clear_dirty(UnitIdx unit) {
-  auto it = entries_.find(unit);
-  if (it != entries_.end()) it->second.dirty = false;
+  Entry* e = entry(unit);
+  if (e != nullptr) e->flags &= static_cast<std::uint8_t>(~kDirty);
 }
 
 }  // namespace cmcp::mm

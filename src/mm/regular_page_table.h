@@ -1,7 +1,12 @@
 // Traditional process model: one set of page tables shared by all cores.
+//
+// Entries live in a dense direct-indexed vector (the unit index is the
+// slot; docs/performance.md) — present/accessed/dirty are flag bits, so a
+// walk is a single indexed load.
 #pragma once
 
-#include <unordered_map>
+#include <cstdint>
+#include <vector>
 
 #include "mm/page_table.h"
 
@@ -27,18 +32,35 @@ class RegularPageTable final : public PageTable {
   bool clear_accessed(UnitIdx unit) override;
   bool test_dirty(UnitIdx unit) const override;
   void clear_dirty(UnitIdx unit) override;
-  std::uint64_t mapped_units() const override { return entries_.size(); }
+  std::uint64_t mapped_units() const override { return mapped_; }
+
+  void reserve_units(UnitIdx n) override;
 
  private:
+  enum EntryFlags : std::uint8_t {
+    kPresent = 1u << 0,
+    kAccessed = 1u << 1,
+    kDirty = 1u << 2,
+  };
+
   struct Entry {
     Pfn pfn = kInvalidPfn;
-    bool accessed = false;
-    bool dirty = false;
+    std::uint8_t flags = 0;
   };
+
+  Entry* entry(UnitIdx unit) {
+    return unit < entries_.size() && (entries_[unit].flags & kPresent) != 0
+               ? &entries_[unit]
+               : nullptr;
+  }
+  const Entry* entry(UnitIdx unit) const {
+    return const_cast<RegularPageTable*>(this)->entry(unit);
+  }
 
   CoreId num_cores_;
   CoreMask all_cores_;
-  std::unordered_map<UnitIdx, Entry> entries_;
+  std::vector<Entry> entries_;  ///< [unit]
+  std::uint64_t mapped_ = 0;
 };
 
 }  // namespace cmcp::mm

@@ -8,7 +8,6 @@ Tlb::Tlb(std::uint32_t capacity) : capacity_(capacity), slots_(capacity) {
   CMCP_CHECK(capacity > 0);
   free_.reserve(capacity);
   for (std::uint32_t i = capacity; i-- > 0;) free_.push_back(i);
-  map_.reserve(capacity * 2);
 }
 
 void Tlb::unlink(std::uint32_t s) {
@@ -33,21 +32,10 @@ void Tlb::push_mru(std::uint32_t s) {
   if (lru_ == kNil) lru_ = s;
 }
 
-bool Tlb::lookup(UnitIdx unit) {
-  auto it = map_.find(unit);
-  if (it == map_.end()) return false;
-  const std::uint32_t s = it->second;
-  if (s != mru_) {
-    unlink(s);
-    push_mru(s);
-  }
-  return true;
-}
-
 void Tlb::insert(UnitIdx unit) {
-  if (auto it = map_.find(unit); it != map_.end()) {
+  if (unit >= slot_of_.size()) reserve_units(unit + 1);
+  if (const std::uint32_t s = slot_of_[unit]; s != kNil) {
     // Already present (e.g. re-walk after an access-bit refresh); touch it.
-    const std::uint32_t s = it->second;
     if (s != mru_) {
       unlink(s);
       push_mru(s);
@@ -58,34 +46,42 @@ void Tlb::insert(UnitIdx unit) {
   if (!free_.empty()) {
     s = free_.back();
     free_.pop_back();
+    ++occupancy_;
   } else {
     CMCP_CHECK(lru_ != kNil);
     s = lru_;
-    map_.erase(slots_[s].unit);
+    slot_of_[slots_[s].unit] = kNil;
     unlink(s);
   }
   slots_[s].unit = unit;
-  map_.emplace(unit, s);
+  slot_of_[unit] = s;
   push_mru(s);
 }
 
 bool Tlb::invalidate(UnitIdx unit) {
-  auto it = map_.find(unit);
-  if (it == map_.end()) return false;
-  const std::uint32_t s = it->second;
-  map_.erase(it);
+  const std::uint32_t s = slot_of(unit);
+  if (s == kNil) return false;
+  slot_of_[unit] = kNil;
   unlink(s);
   slots_[s].unit = kInvalidUnit;
   free_.push_back(s);
+  --occupancy_;
   return true;
 }
 
 void Tlb::flush() {
-  map_.clear();
+  // Walk the LRU chain instead of clearing the whole unit index: the chain
+  // holds at most `capacity_` entries while the index spans every unit.
+  for (std::uint32_t s = mru_; s != kNil;) {
+    const std::uint32_t next = slots_[s].next;
+    slot_of_[slots_[s].unit] = kNil;
+    slots_[s] = Slot{};
+    s = next;
+  }
   free_.clear();
   for (std::uint32_t i = capacity_; i-- > 0;) free_.push_back(i);
-  for (auto& s : slots_) s = Slot{};
   mru_ = lru_ = kNil;
+  occupancy_ = 0;
 }
 
 }  // namespace cmcp::sim

@@ -5,10 +5,15 @@
 // dTLB (64 x 4 kB entries; fewer entries for the larger formats). A 64 kB
 // group occupies a single entry — that is exactly the benefit the hint bit
 // buys (paper section 4).
+//
+// The unit -> slot index is a dense direct-indexed array (the unit index is
+// the slot-array subscript; docs/performance.md): a lookup — the single
+// hottest operation in the whole simulator, one per simulated reference per
+// core — is one bounds check and one load, no hashing. The LRU order lives
+// in an intrusive prev/next chain over the fixed slot pool, as before.
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "common/types.h"
@@ -35,7 +40,15 @@ class Tlb {
   Tlb(std::uint32_t capacity);
 
   /// True if `unit` is cached; refreshes its LRU position on hit.
-  bool lookup(UnitIdx unit);
+  bool lookup(UnitIdx unit) {
+    const std::uint32_t s = slot_of(unit);
+    if (s == kNil) return false;
+    if (s != mru_) {
+      unlink(s);
+      push_mru(s);
+    }
+    return true;
+  }
 
   /// Install a translation, evicting the LRU entry when full.
   void insert(UnitIdx unit);
@@ -48,15 +61,22 @@ class Tlb {
   /// Drop everything (full flush).
   void flush();
 
-  std::uint32_t capacity() const { return capacity_; }
-  std::size_t occupancy() const { return map_.size(); }
+  /// Size the unit index for units [0, n) so steady-state insert() never
+  /// grows it (the memory manager calls this with the area's num_units()).
+  void reserve_units(UnitIdx n) {
+    if (n > slot_of_.size()) slot_of_.resize(n, kNil);
+  }
 
-  /// Invoke fn(UnitIdx) for every cached translation, in no particular
-  /// order. Read-only introspection for SimCheck's TLB-vs-PTE invariant;
-  /// does not refresh LRU positions.
+  std::uint32_t capacity() const { return capacity_; }
+  std::size_t occupancy() const { return occupancy_; }
+
+  /// Invoke fn(UnitIdx) for every cached translation, in MRU -> LRU order.
+  /// Read-only introspection for SimCheck's TLB-vs-PTE invariant; does not
+  /// refresh LRU positions.
   template <typename Fn>
   void for_each_entry(Fn&& fn) const {
-    for (const auto& [unit, slot] : map_) fn(unit);
+    for (std::uint32_t s = mru_; s != kNil; s = slots_[s].next)
+      fn(slots_[s].unit);
   }
 
  private:
@@ -68,6 +88,10 @@ class Tlb {
     std::uint32_t next = kNil;
   };
 
+  std::uint32_t slot_of(UnitIdx unit) const {
+    return unit < slot_of_.size() ? slot_of_[unit] : kNil;
+  }
+
   void unlink(std::uint32_t s);
   void push_mru(std::uint32_t s);
 
@@ -76,7 +100,8 @@ class Tlb {
   std::vector<std::uint32_t> free_;
   std::uint32_t mru_ = kNil;
   std::uint32_t lru_ = kNil;
-  std::unordered_map<UnitIdx, std::uint32_t> map_;
+  std::vector<std::uint32_t> slot_of_;  ///< [unit] -> slot index or kNil
+  std::size_t occupancy_ = 0;
 };
 
 }  // namespace cmcp::sim

@@ -1,0 +1,116 @@
+// A/B determinism across the full policy matrix against *committed* golden
+// results. The run-vs-run checks in determinism_test.cpp prove a build
+// agrees with itself; this file proves the build agrees with the tree's
+// recorded history — an accidental behaviour change (e.g. an iteration-order
+// dependence sneaking back into the scanner, a policy tie-break flipping)
+// shows up as a diff against tests/data/golden_results.txt even when the
+// run is still internally deterministic.
+//
+// When a behaviour change is *intended*, regenerate the file and review the
+// diff like code:
+//
+//   CMCP_UPDATE_GOLDEN=1 ./build/tests/cmcp_tests --gtest_filter='GoldenResults*'
+//   (then review with: git diff tests/data)
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "cmcp.h"
+#include "metrics/experiment.h"
+
+#ifndef CMCP_TEST_DATA_DIR
+#define CMCP_TEST_DATA_DIR "tests/data"
+#endif
+
+namespace cmcp {
+namespace {
+
+std::string golden_path() {
+  return std::string(CMCP_TEST_DATA_DIR) + "/golden_results.txt";
+}
+
+struct MatrixCell {
+  const char* label;
+  PolicyKind policy;
+  PageTableKind pt;
+};
+
+// Small enough to run all five cells in well under a second, big enough to
+// exercise faults, evictions, shootdowns and several scanner passes.
+constexpr MatrixCell kMatrix[] = {
+    {"fifo", PolicyKind::kFifo, PageTableKind::kPspt},
+    {"lru", PolicyKind::kLru, PageTableKind::kPspt},
+    {"cmcp", PolicyKind::kCmcp, PageTableKind::kPspt},
+    {"arc", PolicyKind::kArc, PageTableKind::kPspt},
+    {"clock", PolicyKind::kClock, PageTableKind::kPspt},
+    {"fifo_regular", PolicyKind::kFifo, PageTableKind::kRegular},
+};
+
+core::SimulationResult run_cell(const MatrixCell& cell) {
+  metrics::RunSpec spec;
+  spec.workload = wl::PaperWorkload::kCg;
+  spec.cores = 8;
+  spec.scale = 0.12;
+  spec.pt_kind = cell.pt;
+  spec.policy.kind = cell.policy;
+  // Tight enough that the touched working set overflows capacity — the
+  // matrix must exercise the eviction path or the policies are
+  // indistinguishable and the golden file pins nothing policy-specific.
+  spec.memory_fraction = 0.25;
+  spec.seed = 20260806;
+  return metrics::run_spec(spec);
+}
+
+/// Text form of everything the matrix pins: the full summary (headline
+/// counters + policy.* stats) and the sharing histogram, one `cell.key
+/// value` line each, in fixed order — line-diffable with git.
+void serialize(const char* label, const core::SimulationResult& result,
+               std::ostream& os) {
+  for (const auto& [name, value] : metrics::result_summary(result))
+    os << label << '.' << name << ' ' << value << '\n';
+  for (std::size_t c = 0; c < result.sharing_histogram.size(); ++c)
+    if (result.sharing_histogram[c] != 0)
+      os << label << ".sharing[" << c << "] " << result.sharing_histogram[c]
+         << '\n';
+}
+
+TEST(GoldenResults, PolicyMatrixMatchesCommittedGolden) {
+  std::ostringstream actual;
+  for (const MatrixCell& cell : kMatrix) serialize(cell.label, run_cell(cell), actual);
+
+  if (std::getenv("CMCP_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream out(golden_path());
+    ASSERT_TRUE(out.good()) << "cannot write " << golden_path();
+    out << actual.str();
+    GTEST_SKIP() << "golden file regenerated at " << golden_path();
+  }
+
+  std::ifstream in(golden_path());
+  ASSERT_TRUE(in.good())
+      << "missing " << golden_path()
+      << " — regenerate with CMCP_UPDATE_GOLDEN=1 and commit it";
+  std::stringstream expected;
+  expected << in.rdbuf();
+
+  // Line-by-line so a failure names the first drifted counter instead of
+  // dumping two multi-kilobyte blobs.
+  std::istringstream actual_lines(actual.str());
+  std::istringstream expected_lines(expected.str());
+  std::string a;
+  std::string e;
+  std::size_t line = 0;
+  while (true) {
+    const bool more_a = static_cast<bool>(std::getline(actual_lines, a));
+    const bool more_e = static_cast<bool>(std::getline(expected_lines, e));
+    ++line;
+    if (!more_a && !more_e) break;
+    ASSERT_EQ(more_a, more_e) << "golden file length differs at line " << line;
+    ASSERT_EQ(a, e) << "first divergence at golden_results.txt:" << line;
+  }
+}
+
+}  // namespace
+}  // namespace cmcp

@@ -1,0 +1,143 @@
+// Edge cases of the dense direct-indexed unit storage (docs/performance.md):
+// the first and the last representable unit, queries past the reserved
+// range, re-mapping a unit after an eviction recycled its slot, and the
+// capacity-1 degenerate configurations. Hash maps got these right for free;
+// index arithmetic has to prove it.
+#include <gtest/gtest.h>
+
+#include "mm/frame_allocator.h"
+#include "mm/page_registry.h"
+#include "mm/pspt.h"
+#include "mm/regular_page_table.h"
+#include "sim/tlb.h"
+
+namespace cmcp::mm {
+namespace {
+
+TEST(DensePspt, UnitZeroAndLastReservedUnit) {
+  Pspt pt(4);
+  pt.reserve_units(8);
+  pt.map(0, 0, 0);
+  pt.map(3, 7, 56);
+  EXPECT_TRUE(pt.has_mapping(0, 0));
+  EXPECT_TRUE(pt.has_mapping(3, 7));
+  EXPECT_EQ(pt.pfn_of(0), 0u);
+  EXPECT_EQ(pt.pfn_of(7), 56u);
+  EXPECT_EQ(pt.core_map_count(0), 1u);
+  EXPECT_EQ(pt.mapped_units(), 2u);
+  // Units inside the reserved range but never mapped are cleanly absent.
+  EXPECT_FALSE(pt.any_mapping(3));
+  EXPECT_EQ(pt.core_map_count(3), 0u);
+}
+
+TEST(DensePspt, QueriesBeyondReservedRangeAreAbsentNotFatal) {
+  Pspt pt(2);
+  pt.reserve_units(4);
+  EXPECT_FALSE(pt.has_mapping(0, 1000));
+  EXPECT_FALSE(pt.any_mapping(1000));
+  EXPECT_EQ(pt.core_map_count(1000), 0u);
+  EXPECT_EQ(pt.mapping_cores(1000).count(), 0u);
+  unsigned reads = 0;
+  EXPECT_FALSE(pt.test_accessed(1000, &reads));
+  EXPECT_FALSE(pt.test_dirty(1000));
+}
+
+TEST(DensePspt, RemapAfterUnmapTakesANewFrame) {
+  Pspt pt(2);
+  pt.map(0, 5, 80);
+  pt.map(1, 5, 80);
+  pt.mark_dirty(0, 5);
+  EXPECT_EQ(pt.unmap_all(5).count(), 2u);
+  // Eviction recycled the slot: a later fault may install a different
+  // frame, and the old accessed/dirty state must not leak into it.
+  pt.map(1, 5, 16);
+  EXPECT_EQ(pt.pfn_of(5), 16u);
+  EXPECT_EQ(pt.core_map_count(5), 1u);
+  EXPECT_FALSE(pt.has_mapping(0, 5));
+  EXPECT_FALSE(pt.test_dirty(5));
+  unsigned reads = 0;
+  EXPECT_FALSE(pt.test_accessed(5, &reads));
+}
+
+TEST(DenseRegularPageTable, UnitZeroLastUnitAndRemap) {
+  RegularPageTable pt(2);
+  pt.reserve_units(8);
+  pt.map(0, 0, 0);
+  pt.map(1, 7, 112);
+  EXPECT_TRUE(pt.any_mapping(0));
+  EXPECT_EQ(pt.pfn_of(7), 112u);
+  EXPECT_FALSE(pt.any_mapping(800));  // past the reserved range
+  pt.mark_dirty(0, 7);
+  pt.unmap_all(7);
+  pt.map(0, 7, 48);
+  EXPECT_EQ(pt.pfn_of(7), 48u);
+  EXPECT_FALSE(pt.test_dirty(7));
+}
+
+TEST(DensePageRegistry, UnitZeroLastUnitAndReinsertAfterErase) {
+  PageRegistry registry;
+  registry.reserve_units(8);
+  ResidentPage& first = registry.insert(0, 0, 1);
+  ResidentPage& last = registry.insert(7, 112, 2);
+  EXPECT_EQ(registry.find(0), &first);
+  EXPECT_EQ(registry.find(7), &last);
+  EXPECT_EQ(registry.find(3), nullptr);
+  EXPECT_EQ(registry.find(9000), nullptr);  // past the reserved range
+  EXPECT_EQ(registry.size(), 2u);
+
+  registry.erase(first);
+  EXPECT_EQ(registry.find(0), nullptr);
+  ResidentPage& again = registry.insert(0, 64, 3);
+  EXPECT_EQ(registry.find(0), &again);
+  EXPECT_EQ(again.pfn, 64u);
+  EXPECT_GT(again.seq, last.seq);  // sequence numbers never recycle
+  EXPECT_EQ(registry.size(), 2u);
+}
+
+TEST(DensePageRegistry, ForEachVisitsAscendingUnitOrder) {
+  PageRegistry registry;
+  // Insertion order deliberately scrambled relative to unit order.
+  registry.insert(9, 1, 1);
+  registry.insert(0, 2, 2);
+  registry.insert(4, 3, 3);
+  std::vector<UnitIdx> seen;
+  registry.for_each([&](const ResidentPage& page) { seen.push_back(page.unit); });
+  EXPECT_EQ(seen, (std::vector<UnitIdx>{0, 4, 9}));
+}
+
+TEST(DenseTlb, UnitZeroAndReservedBoundary) {
+  sim::Tlb tlb(4);
+  tlb.reserve_units(8);
+  tlb.insert(0);
+  tlb.insert(7);
+  EXPECT_TRUE(tlb.lookup(0));
+  EXPECT_TRUE(tlb.lookup(7));
+  EXPECT_FALSE(tlb.lookup(8));  // one past the reserved range
+  tlb.insert(8);                // growth path still works after reserve
+  EXPECT_TRUE(tlb.lookup(8));
+  EXPECT_EQ(tlb.occupancy(), 3u);
+}
+
+TEST(DenseTlb, ReinsertAfterEvictionReusesTheSlotCleanly) {
+  sim::Tlb tlb(1);
+  tlb.insert(3);
+  tlb.insert(4);  // evicts 3 (capacity-1: every insert evicts)
+  EXPECT_FALSE(tlb.lookup(3));
+  tlb.insert(3);  // re-map after evict
+  EXPECT_TRUE(tlb.lookup(3));
+  EXPECT_FALSE(tlb.lookup(4));
+  EXPECT_EQ(tlb.occupancy(), 1u);
+}
+
+TEST(DenseFrameAllocator, CapacityOneRecycles) {
+  FrameAllocator alloc(1, PageSizeClass::k4K);
+  const Pfn pfn = alloc.allocate();
+  ASSERT_NE(pfn, kInvalidPfn);
+  EXPECT_TRUE(alloc.full());
+  EXPECT_EQ(alloc.allocate(), kInvalidPfn);  // exhausted, not UB
+  alloc.free(pfn);
+  EXPECT_EQ(alloc.allocate(), pfn);
+}
+
+}  // namespace
+}  // namespace cmcp::mm
