@@ -299,6 +299,8 @@ class Linter {
     // hash-table layout (docs/invariants.md: iteration order is result).
     std::vector<std::string_view> kinds;
     kinds.reserve(by_kind_.size());
+    // cmcp-lint: allow(unordered-iteration) — collect-then-sort: the walk
+    // only gathers keys, and the sort below erases the hash order.
     for (const auto& [kind, count] : by_kind_) kinds.push_back(kind);
     std::sort(kinds.begin(), kinds.end());
     for (const std::string_view kind : kinds) {

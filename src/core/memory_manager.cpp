@@ -347,7 +347,9 @@ void MemoryManager::run_periodic(Cycles watermark) {
     if (policy_->wants_scanner() && !pinned_) {
       // The scanner daemon runs on a dedicated hyperthread (paper section
       // 5.1): its cycles accrue to the pseudo-core, not to the app cores —
-      // but every cleared bit shoots down the mapping cores.
+      // but every cleared bit shoots down the mapping cores. One sweep at a
+      // time: the sweep owns the reused flush batch for its whole duration.
+      common::LockGuard scan_lock(scan_mu_);
       const CoreId scanner = machine_.scanner_core();
       if (machine_.clock(scanner) < tick_time)
         machine_.set_clock(scanner, tick_time);

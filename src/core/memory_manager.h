@@ -8,6 +8,8 @@
 #include <functional>
 #include <memory>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "common/types.h"
 #include "mm/address.h"
 #include "mm/frame_allocator.h"
@@ -78,7 +80,10 @@ class MemoryManager final : public policy::PolicyHost {
   policy::ReplacementPolicy& policy() { return *policy_; }
   const policy::ReplacementPolicy& policy() const { return *policy_; }
   bool scanner_enabled() const { return policy_->wants_scanner(); }
-  std::uint64_t scans_completed() const { return scans_completed_; }
+  std::uint64_t scans_completed() const CMCP_EXCLUDES(scan_mu_) {
+    common::LockGuard lock(scan_mu_);
+    return scans_completed_;
+  }
   bool pinned() const { return pinned_; }
 
   /// Attach a SimCheck registry (non-owning, may be null). The memory
@@ -123,12 +128,20 @@ class MemoryManager final : public policy::PolicyHost {
 
   sim::CheckRegistry* checks_ = nullptr;  ///< non-owning; null = unchecked
 
+  /// Serializes the access-bit scanner: at most one sweep mutates the flush
+  /// batch at a time. Ordered above Machine::shootdown_mu_ (the sweep
+  /// flushes batches into the invalidation slot while holding this lock) —
+  /// see the hierarchy in common/mutex.h.
+  mutable common::Mutex scan_mu_;
   /// Scanner shootdown batch, reused across scan passes (reserved once in
   /// the constructor so a sweep allocates nothing).
-  std::vector<sim::Machine::BatchItem> scan_flush_;
+  std::vector<sim::Machine::BatchItem> scan_flush_ CMCP_GUARDED_BY(scan_mu_);
+  std::uint64_t scans_completed_ CMCP_GUARDED_BY(scan_mu_) = 0;
 
+  /// Engine-thread-only: run_periodic's watermark cursor. The engine calls
+  /// run_periodic from exactly one thread (its contract), so this needs no
+  /// lock — the early-out check must stay cheap on the per-step path.
   Cycles next_tick_ = 0;
-  std::uint64_t scans_completed_ = 0;
   /// Pinned mode: preloaded with full capacity — no evictions ever, policy
   /// bookkeeping bypassed.
   bool pinned_ = false;

@@ -1,0 +1,259 @@
+#include "lint/lexer.h"
+
+#include <cctype>
+
+namespace cmcp::lint {
+namespace {
+
+bool is_ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == '$';
+}
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '$';
+}
+
+bool is_digit(char c) { return std::isdigit(static_cast<unsigned char>(c)); }
+
+/// Multi-character punctuators, longest first within each leading char so a
+/// linear scan implements maximal munch. Single chars fall through.
+constexpr std::string_view kPuncts[] = {
+    "<<=", ">>=", "...", "->*", "<=>",                          // 3 chars
+    "::", "->", "++", "--", "<<", ">>", "<=", ">=", "==", "!=",  // 2 chars
+    "&&", "||", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=",
+    ".*", "##",
+};
+
+/// Parse `cmcp-lint: allow(a, b)` out of a comment body; append allowances.
+void scan_allow_comment(std::string_view comment, unsigned line,
+                        std::vector<Allowance>& out) {
+  const std::string_view kTag = "cmcp-lint:";
+  std::size_t pos = comment.find(kTag);
+  if (pos == std::string_view::npos) return;
+  pos += kTag.size();
+  while (pos < comment.size() && comment[pos] == ' ') ++pos;
+  const std::string_view kAllow = "allow(";
+  if (comment.compare(pos, kAllow.size(), kAllow) != 0) return;
+  pos += kAllow.size();
+  const std::size_t close = comment.find(')', pos);
+  if (close == std::string_view::npos) return;
+  std::string_view list = comment.substr(pos, close - pos);
+  while (!list.empty()) {
+    std::size_t comma = list.find(',');
+    std::string_view item = list.substr(0, comma);
+    while (!item.empty() && item.front() == ' ') item.remove_prefix(1);
+    while (!item.empty() && item.back() == ' ') item.remove_suffix(1);
+    if (!item.empty()) out.push_back(Allowance{line, std::string(item)});
+    if (comma == std::string_view::npos) break;
+    list.remove_prefix(comma + 1);
+  }
+}
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view src) : src_(src) {}
+
+  LexResult run() {
+    while (pos_ < src_.size()) step();
+    return std::move(result_);
+  }
+
+ private:
+  char peek(std::size_t ahead = 0) const {
+    return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+  }
+
+  /// Advance one char, tracking lines. Callers that consume multi-char
+  /// constructs loop over this so `\n` inside them still counts.
+  char take() {
+    char c = src_[pos_++];
+    if (c == '\n') ++line_;
+    return c;
+  }
+
+  void emit(TokKind kind, std::string text, unsigned line) {
+    result_.tokens.push_back(Token{kind, std::move(text), line});
+  }
+
+  void step() {
+    const char c = peek();
+    // Line continuation: splice, but the newline still advances line_.
+    if (c == '\\' && (peek(1) == '\n' || (peek(1) == '\r' && peek(2) == '\n'))) {
+      take();
+      while (peek() != '\n' && peek() != '\0') take();
+      if (peek() == '\n') take();
+      return;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      take();
+      return;
+    }
+    if (c == '/' && peek(1) == '/') {
+      line_comment();
+      return;
+    }
+    if (c == '/' && peek(1) == '*') {
+      block_comment();
+      return;
+    }
+    if (is_ident_start(c)) {
+      ident_or_raw_string();
+      return;
+    }
+    if (is_digit(c) || (c == '.' && is_digit(peek(1)))) {
+      number();
+      return;
+    }
+    if (c == '"') {
+      string_literal();
+      return;
+    }
+    if (c == '\'') {
+      char_literal();
+      return;
+    }
+    punct();
+  }
+
+  void line_comment() {
+    const unsigned line = line_;
+    std::size_t start = pos_;
+    while (peek() != '\n' && peek() != '\0') take();
+    scan_allow_comment(src_.substr(start, pos_ - start), line, result_.allows);
+  }
+
+  void block_comment() {
+    const unsigned line = line_;
+    std::size_t start = pos_;
+    take();  // '/'
+    take();  // '*'
+    while (pos_ < src_.size() && !(peek() == '*' && peek(1) == '/')) take();
+    if (pos_ < src_.size()) {
+      take();
+      take();
+    }
+    scan_allow_comment(src_.substr(start, pos_ - start), line, result_.allows);
+  }
+
+  void ident_or_raw_string() {
+    const unsigned line = line_;
+    std::string text;
+    while (is_ident_char(peek())) text.push_back(take());
+    // Raw string: R"delim( ... )delim" — also LR / u8R / uR / UR prefixes.
+    if (peek() == '"' &&
+        (text == "R" || text == "LR" || text == "u8R" || text == "uR" ||
+         text == "UR")) {
+      take();  // opening quote
+      std::string delim;
+      while (peek() != '(' && peek() != '\0' && delim.size() < 16)
+        delim.push_back(take());
+      if (peek() == '(') take();
+      const std::string close = ")" + delim + "\"";
+      std::string body;
+      while (pos_ < src_.size()) {
+        if (src_.compare(pos_, close.size(), close) == 0) {
+          for (std::size_t i = 0; i < close.size(); ++i) take();
+          break;
+        }
+        body.push_back(take());
+      }
+      emit(TokKind::kString, std::move(body), line);
+      return;
+    }
+    // Ordinary string/char encoding prefixes glue to the literal.
+    if ((peek() == '"' || peek() == '\'') &&
+        (text == "L" || text == "u" || text == "U" || text == "u8")) {
+      if (peek() == '"')
+        string_literal();
+      else
+        char_literal();
+      return;
+    }
+    emit(TokKind::kIdent, std::move(text), line);
+  }
+
+  void number() {
+    const unsigned line = line_;
+    std::string text;
+    text.push_back(take());
+    while (pos_ < src_.size()) {
+      const char c = peek();
+      if (is_ident_char(c) || c == '.' || c == '\'') {
+        text.push_back(take());
+        // Exponent signs belong to the literal: 1e+9, 0x1p-3.
+        if ((c == 'e' || c == 'E' || c == 'p' || c == 'P') &&
+            (peek() == '+' || peek() == '-') &&
+            (text.find("0x") != 0 || c == 'p' || c == 'P')) {
+          text.push_back(take());
+        }
+      } else {
+        break;
+      }
+    }
+    emit(TokKind::kNumber, std::move(text), line);
+  }
+
+  void string_literal() {
+    const unsigned line = line_;
+    take();  // opening quote
+    std::string text;
+    while (pos_ < src_.size() && peek() != '"') {
+      if (peek() == '\\' && pos_ + 1 < src_.size()) text.push_back(take());
+      if (pos_ < src_.size()) text.push_back(take());
+    }
+    if (pos_ < src_.size()) take();  // closing quote
+    emit(TokKind::kString, std::move(text), line);
+  }
+
+  void char_literal() {
+    const unsigned line = line_;
+    take();  // opening quote
+    std::string text;
+    while (pos_ < src_.size() && peek() != '\'') {
+      if (peek() == '\\' && pos_ + 1 < src_.size()) text.push_back(take());
+      if (pos_ < src_.size()) text.push_back(take());
+    }
+    if (pos_ < src_.size()) take();  // closing quote
+    emit(TokKind::kChar, std::move(text), line);
+  }
+
+  void punct() {
+    const unsigned line = line_;
+    for (std::string_view p : kPuncts) {
+      if (src_.compare(pos_, p.size(), p) == 0) {
+        for (std::size_t i = 0; i < p.size(); ++i) take();
+        emit(TokKind::kPunct, std::string(p), line);
+        return;
+      }
+    }
+    emit(TokKind::kPunct, std::string(1, take()), line);
+  }
+
+  std::string_view src_;
+  std::size_t pos_ = 0;
+  unsigned line_ = 1;
+  LexResult result_;
+};
+
+}  // namespace
+
+LexResult lex(std::string_view source) { return Lexer(source).run(); }
+
+bool is_float_literal(std::string_view t) {
+  if (t.empty()) return false;
+  const bool hex = t.size() > 1 && t[0] == '0' && (t[1] == 'x' || t[1] == 'X');
+  bool has_point = false;
+  bool has_exp = false;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    const char c = t[i];
+    if (c == '.') has_point = true;
+    if (!hex && (c == 'e' || c == 'E') && i > 0) has_exp = true;
+    if (hex && (c == 'p' || c == 'P')) has_exp = true;
+  }
+  if (has_point || has_exp) return true;
+  // Suffix-only floats: 1f. A hex digit 'f' is not a suffix.
+  if (!hex && (t.back() == 'f' || t.back() == 'F')) return true;
+  return false;
+}
+
+}  // namespace cmcp::lint

@@ -1,0 +1,60 @@
+// Token-level C++ lexer for cmcp_lint (src/lint/lint.h).
+//
+// Produces a comment- and whitespace-free token stream with line numbers,
+// which is exactly the abstraction level the domain rules need: banned
+// identifiers, banned token sequences (`std :: mutex`), template-argument
+// key types, and macro argument lists. It handles the lexical constructs
+// that break naive grep — line continuations, raw strings, digit
+// separators, multi-character operators — without needing a full frontend,
+// so the linter builds everywhere the simulator builds (no libclang
+// dependency; the container toolchain is GCC-only).
+//
+// Suppression comments are collected during lexing:
+//   // cmcp-lint: allow(rule-id)            one rule
+//   // cmcp-lint: allow(rule-a, rule-b)     several rules
+// An allowance applies to the comment's own line and to the following line
+// (so it can sit above the offending statement). Every suppression must
+// carry a justification in prose next to it — reviewed by humans, not by
+// the tool.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cmcp::lint {
+
+enum class TokKind : unsigned char {
+  kIdent = 0,   ///< identifier or keyword
+  kNumber,      ///< integer or floating literal (with suffixes)
+  kString,      ///< string literal (incl. raw strings); text excludes quotes
+  kChar,        ///< character literal
+  kPunct,       ///< operator/punctuator, maximal munch ("::", "<=", "->", ...)
+};
+
+struct Token {
+  TokKind kind;
+  std::string text;
+  unsigned line;  ///< 1-based source line
+};
+
+/// One `cmcp-lint: allow(...)` occurrence.
+struct Allowance {
+  unsigned line;     ///< line the comment starts on
+  std::string rule;  ///< rule id, or "*" for all rules
+};
+
+struct LexResult {
+  std::vector<Token> tokens;
+  std::vector<Allowance> allows;
+};
+
+/// Lex `source`. Never fails: unterminated constructs are closed at EOF
+/// (the linter is a reporting tool, not a compiler).
+LexResult lex(std::string_view source);
+
+/// True if a kNumber token text is a floating-point literal
+/// (decimal point, binary/decimal exponent, or f/F suffix).
+bool is_float_literal(std::string_view number_text);
+
+}  // namespace cmcp::lint

@@ -1,11 +1,29 @@
 #include "metrics/parallel_runner.h"
 
 #include <atomic>
+#include <exception>
 #include <thread>
 
 #include "common/assert.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace cmcp::metrics {
+
+namespace {
+
+/// State shared by the worker pool. The claim cursor is lock-free; the
+/// error slot is the annotated-mutex path (a job that throws must surface
+/// its exception on the calling thread, not std::terminate the process —
+/// which is what an exception escaping a std::thread body does).
+struct SharedState {
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> failed{false};
+  common::Mutex mu;
+  std::exception_ptr first_error CMCP_GUARDED_BY(mu);
+};
+
+}  // namespace
 
 std::vector<core::SimulationResult> run_jobs_parallel(
     const std::vector<std::function<core::SimulationResult()>>& jobs,
@@ -22,19 +40,33 @@ std::vector<core::SimulationResult> run_jobs_parallel(
 
   // Work stealing via a shared atomic cursor: jobs have wildly different
   // durations (56-core runs dwarf 8-core ones), so static partitioning
-  // would leave workers idle.
-  std::atomic<std::size_t> next{0};
+  // would leave workers idle. Each worker writes only its claimed slot of
+  // `results`, so the result vector needs no lock.
+  SharedState shared;
   const auto worker = [&] {
     for (;;) {
-      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (shared.failed.load(std::memory_order_relaxed)) return;
+      const std::size_t i = shared.next.fetch_add(1, std::memory_order_relaxed);
       if (i >= jobs.size()) return;
-      results[i] = jobs[i]();
+      try {
+        results[i] = jobs[i]();
+      } catch (...) {
+        common::LockGuard lock(shared.mu);
+        if (shared.first_error == nullptr)
+          shared.first_error = std::current_exception();
+        shared.failed.store(true, std::memory_order_relaxed);
+      }
     }
   };
   std::vector<std::thread> pool;
   pool.reserve(threads);
   for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker);
   for (auto& t : pool) t.join();
+
+  {
+    common::LockGuard lock(shared.mu);
+    if (shared.first_error != nullptr) std::rethrow_exception(shared.first_error);
+  }
   return results;
 }
 

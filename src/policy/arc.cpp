@@ -9,19 +9,33 @@ namespace cmcp::policy {
 void ArcPolicy::GhostList::push(UnitIdx unit, std::size_t cap) {
   if (cap == 0) return;
   remove(unit);  // re-push refreshes the position
-  order_.push_back(unit);
-  pos_.emplace(unit, std::prev(order_.end()));
-  while (pos_.size() > cap) {
-    pos_.erase(order_.front());
-    order_.pop_front();
-  }
+  if (unit >= nodes_.size()) nodes_.resize(unit + 1);
+  Node& node = nodes_[unit];
+  node.linked = true;
+  node.prev = tail_;
+  node.next = kInvalidUnit;
+  if (tail_ != kInvalidUnit)
+    nodes_[tail_].next = unit;
+  else
+    head_ = unit;
+  tail_ = unit;
+  ++size_;
+  while (size_ > cap) remove(head_);
 }
 
 void ArcPolicy::GhostList::remove(UnitIdx unit) {
-  auto it = pos_.find(unit);
-  if (it == pos_.end()) return;
-  order_.erase(it->second);
-  pos_.erase(it);
+  if (!contains(unit)) return;
+  Node& node = nodes_[unit];
+  if (node.prev != kInvalidUnit)
+    nodes_[node.prev].next = node.next;
+  else
+    head_ = node.next;
+  if (node.next != kInvalidUnit)
+    nodes_[node.next].prev = node.prev;
+  else
+    tail_ = node.prev;
+  node = Node{};
+  --size_;
 }
 
 ArcPolicy::ArcPolicy(PolicyHost& host) : host_(host) {}

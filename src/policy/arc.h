@@ -12,8 +12,8 @@
 // same auxiliary signal CMCP uses).
 #pragma once
 
-#include <list>
-#include <unordered_map>
+#include <cstddef>
+#include <vector>
 
 #include "common/intrusive_list.h"
 #include "policy/replacement_policy.h"
@@ -47,16 +47,30 @@ class ArcPolicy final : public ReplacementPolicy {
   static constexpr std::uint8_t kT2 = 1;
 
   /// Ghost list: bounded FIFO of evicted unit ids with O(1) membership.
+  /// Dense unit-indexed links (docs/performance.md), not a hash map: one
+  /// lazily-grown node array doubles as membership bit and FIFO position,
+  /// so push/remove/contains are pointer-free index chasing with a defined
+  /// iteration order — the same layout discipline as the page tables.
   class GhostList {
    public:
-    bool contains(UnitIdx unit) const { return pos_.contains(unit); }
+    bool contains(UnitIdx unit) const {
+      return unit < nodes_.size() && nodes_[unit].linked;
+    }
     void push(UnitIdx unit, std::size_t cap);
     void remove(UnitIdx unit);
-    std::size_t size() const { return pos_.size(); }
+    std::size_t size() const { return size_; }
 
    private:
-    std::list<UnitIdx> order_;  // front = oldest
-    std::unordered_map<UnitIdx, std::list<UnitIdx>::iterator> pos_;
+    struct Node {
+      UnitIdx prev = kInvalidUnit;
+      UnitIdx next = kInvalidUnit;
+      bool linked = false;
+    };
+
+    std::vector<Node> nodes_;  ///< indexed by unit, grown on first sight
+    UnitIdx head_ = kInvalidUnit;  ///< oldest
+    UnitIdx tail_ = kInvalidUnit;  ///< newest
+    std::size_t size_ = 0;
   };
 
   using PageList = IntrusiveList<mm::ResidentPage, &mm::ResidentPage::main_node>;

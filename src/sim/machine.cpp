@@ -24,6 +24,10 @@ Cycles Machine::shootdown(CoreId initiator, Cycles now, const CoreMask& targets,
   const unsigned num_targets = targets.count();
   if (num_targets == 0 || units.empty()) return 0;
 
+  // The invalidation-request slot: every shootdown in the machine holds it,
+  // exactly like the kernel lock the paper measures (section 5.5).
+  common::LockGuard slot(shootdown_mu_);
+
   if (config_.tlb_coherence == TlbCoherence::kHardwareDirectory)
     return hw_invalidate(initiator, now, targets, units);
 
@@ -84,6 +88,7 @@ Cycles Machine::hw_invalidate(CoreId initiator, Cycles now,
 Cycles Machine::shootdown_batch(CoreId initiator, Cycles now,
                                 std::span<const BatchItem> items) {
   if (items.empty()) return 0;
+  common::LockGuard slot(shootdown_mu_);
   CoreMask union_targets;
   for (const BatchItem& item : items) union_targets = union_targets | item.targets;
   union_targets.clear(initiator);

@@ -12,6 +12,8 @@
 #include <vector>
 
 #include "common/core_mask.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "common/types.h"
 #include "metrics/counters.h"
 #include "sim/cost_model.h"
@@ -62,7 +64,12 @@ class Machine {
   const metrics::CoreCounters& counters(CoreId core) const { return counters_[core]; }
 
   PcieLink& pcie() { return pcie_; }
-  Interconnect& interconnect() { return interconnect_; }
+  /// Quiescent-phase accessor (post-run introspection): the interconnect is
+  /// guarded by `shootdown_mu_` while shootdowns run; call this only when no
+  /// shootdown can be in flight.
+  Interconnect& interconnect() CMCP_NO_THREAD_SAFETY_ANALYSIS {
+    return interconnect_;
+  }
 
   /// Attach/detach the structured event sink. Null (the default) disables
   /// tracing; every emit point is then a single pointer test.
@@ -75,7 +82,7 @@ class Machine {
   /// cycles consumed at the initiator, which the caller adds to its clock.
   /// Also fills the initiator's shootdown/lock-wait counters.
   Cycles shootdown(CoreId initiator, Cycles now, const CoreMask& targets,
-                   std::span<const UnitIdx> units);
+                   std::span<const UnitIdx> units) CMCP_EXCLUDES(shootdown_mu_);
 
   /// Batched shootdown: one slot acquisition and one IPI round for several
   /// (unit, mapping-cores) pairs — how the access-bit scanner flushes a run
@@ -87,7 +94,8 @@ class Machine {
     CoreMask targets;
   };
   Cycles shootdown_batch(CoreId initiator, Cycles now,
-                         std::span<const BatchItem> items);
+                         std::span<const BatchItem> items)
+      CMCP_EXCLUDES(shootdown_mu_);
 
   /// Aggregate counters over application cores (excludes the scanner).
   metrics::CoreCounters aggregate_app_counters() const;
@@ -95,14 +103,22 @@ class Machine {
  private:
   /// Directed invalidation via the hypothetical TLB directory hardware.
   Cycles hw_invalidate(CoreId initiator, Cycles now, const CoreMask& targets,
-                       std::span<const UnitIdx> units);
+                       std::span<const UnitIdx> units)
+      CMCP_REQUIRES(shootdown_mu_);
 
   MachineConfig config_;
+  // Per-core state (clocks, TLBs, counters) is sharded by core id: the
+  // current engine runs one thread, and the parallel engine will keep each
+  // core's shard on its owning host thread. Shootdowns are the one path that
+  // mutates *other* cores' shards — which is why the whole shootdown
+  // protocol serializes on `shootdown_mu_` below, the lock modelling the
+  // kernel's invalidation-request slot (paper section 5.5).
   std::vector<Cycles> clocks_;
   std::vector<Tlb> tlbs_;
   std::vector<metrics::CoreCounters> counters_;
-  PcieLink pcie_;
-  Interconnect interconnect_;
+  PcieLink pcie_;  ///< internally synchronized (see pcie_link.h)
+  mutable common::Mutex shootdown_mu_;
+  Interconnect interconnect_ CMCP_GUARDED_BY(shootdown_mu_);
   trace::EventSink* trace_ = nullptr;  ///< non-owning; null = disabled
 };
 

@@ -6,6 +6,7 @@ namespace cmcp::sim {
 
 Cycles PcieLink::transfer(PcieDir dir, Cycles ready_at, std::uint64_t bytes,
                           Cycles* queue_wait) {
+  common::LockGuard lock(mu_);
   const int d = static_cast<int>(dir);
   const Cycles start = std::max(ready_at, busy_until_[d]);
   if (queue_wait != nullptr) *queue_wait = start - ready_at;
@@ -17,6 +18,7 @@ Cycles PcieLink::transfer(PcieDir dir, Cycles ready_at, std::uint64_t bytes,
 }
 
 void PcieLink::reset() {
+  common::LockGuard lock(mu_);
   busy_until_[0] = busy_until_[1] = 0;
   bytes_[0] = bytes_[1] = 0;
   transfers_[0] = transfers_[1] = 0;

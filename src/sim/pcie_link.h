@@ -5,10 +5,17 @@
 // setup + bytes/bandwidth, and concurrent faults queue behind each other.
 // This queueing — not raw latency — is what degrades throughput as the
 // memory constraint tightens (paper Fig. 8 / Fig. 10).
+//
+// The link is one of the two genuinely shared hardware resources in the
+// machine (the other is the invalidation slot), so it is internally
+// synchronized: its busy-until timelines and byte counters sit behind an
+// annotated mutex, ready for the parallel engine's concurrent faults.
 #pragma once
 
 #include <cstdint>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "common/types.h"
 #include "sim/cost_model.h"
 
@@ -26,22 +33,25 @@ class PcieLink {
   /// Schedule a transfer that can start at `ready_at`. Returns its completion
   /// time; `*queue_wait` receives the cycles spent waiting for the channel.
   Cycles transfer(PcieDir dir, Cycles ready_at, std::uint64_t bytes,
-                  Cycles* queue_wait);
+                  Cycles* queue_wait) CMCP_EXCLUDES(mu_);
 
-  std::uint64_t bytes_moved(PcieDir dir) const {
+  std::uint64_t bytes_moved(PcieDir dir) const CMCP_EXCLUDES(mu_) {
+    common::LockGuard lock(mu_);
     return bytes_[static_cast<int>(dir)];
   }
-  std::uint64_t transfers(PcieDir dir) const {
+  std::uint64_t transfers(PcieDir dir) const CMCP_EXCLUDES(mu_) {
+    common::LockGuard lock(mu_);
     return transfers_[static_cast<int>(dir)];
   }
 
-  void reset();
+  void reset() CMCP_EXCLUDES(mu_);
 
  private:
-  const CostModel* cost_;
-  Cycles busy_until_[2] = {0, 0};
-  std::uint64_t bytes_[2] = {0, 0};
-  std::uint64_t transfers_[2] = {0, 0};
+  const CostModel* cost_;  ///< immutable after construction
+  mutable common::Mutex mu_;
+  Cycles busy_until_[2] CMCP_GUARDED_BY(mu_) = {0, 0};
+  std::uint64_t bytes_[2] CMCP_GUARDED_BY(mu_) = {0, 0};
+  std::uint64_t transfers_[2] CMCP_GUARDED_BY(mu_) = {0, 0};
 };
 
 }  // namespace cmcp::sim

@@ -27,6 +27,8 @@
 #include <utility>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "common/types.h"
 
 namespace cmcp::sim::trace {
@@ -68,16 +70,40 @@ struct Event {
 /// Flat, append-only event buffer. A null `EventSink*` is the disabled
 /// ("null sink") state: emit points guard on the pointer and cost one
 /// predictable branch.
+///
+/// Emission is internally synchronized: emitters (today one engine thread;
+/// under the planned parallel engine, one per host thread) may call emit()
+/// concurrently without corrupting the buffer. Read-side accessors are
+/// quiescent-phase only — export after the run, when no emitter is live.
+/// Concurrent emission is memory-safe but its interleaving is not
+/// deterministic; the parallel engine must shard sinks per core and merge
+/// by timestamp to keep the byte-identical-trace guarantee.
 class EventSink {
  public:
   EventSink() { events_.reserve(kInitialCapacity); }
 
-  void emit(const Event& event) { events_.push_back(event); }
+  void emit(const Event& event) CMCP_EXCLUDES(mu_) {
+    common::LockGuard lock(mu_);
+    events_.push_back(event);
+  }
 
-  const std::vector<Event>& events() const { return events_; }
-  std::size_t size() const { return events_.size(); }
-  bool empty() const { return events_.empty(); }
-  void clear() { events_.clear(); }
+  /// Quiescent-phase accessor: hands out a reference to the guarded buffer,
+  /// valid only once every emitter has finished (exporters run post-run).
+  const std::vector<Event>& events() const CMCP_NO_THREAD_SAFETY_ANALYSIS {
+    return events_;
+  }
+  std::size_t size() const CMCP_EXCLUDES(mu_) {
+    common::LockGuard lock(mu_);
+    return events_.size();
+  }
+  bool empty() const CMCP_EXCLUDES(mu_) {
+    common::LockGuard lock(mu_);
+    return events_.empty();
+  }
+  void clear() CMCP_EXCLUDES(mu_) {
+    common::LockGuard lock(mu_);
+    events_.clear();
+  }
 
   /// Number of application cores, set by the simulation when the sink is
   /// attached; fixes the track layout (scanner/PCIe/slot tracks follow).
@@ -92,7 +118,9 @@ class EventSink {
 
  private:
   static constexpr std::size_t kInitialCapacity = 4096;
-  std::vector<Event> events_;
+  mutable common::Mutex mu_;
+  std::vector<Event> events_ CMCP_GUARDED_BY(mu_);
+  /// Set once when the sink is attached, before any emitter runs.
   unsigned num_app_cores_ = 0;
 };
 

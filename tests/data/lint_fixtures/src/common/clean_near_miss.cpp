@@ -1,0 +1,34 @@
+// Fixture: near-miss patterns that a grep-based gate would flag but the
+// token-level linter must NOT — this file has zero findings.
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+
+namespace cmcp::common {
+
+// "std::mutex" and "rand()" inside a string literal are data, not code.
+const char* kDoc = "never use std::mutex or rand() directly";
+
+// A comment mentioning time(nullptr) or volatile is prose, not code.
+
+struct Machine {
+  Cycles clock(CoreId core) const;  // declaration: `clock` is not a call
+};
+
+Cycles fine(const Machine& m) {
+  return m.clock(0);  // member call, not the libc clock()
+}
+
+// time_t as a type name is not a wall-clock read.
+using FileStamp = long;
+
+// unordered_map keyed by a string in a non-hot directory, never iterated:
+// pure membership is sanctioned (docs/invariants.md).
+bool known(const std::unordered_map<std::string, int>& m,
+           const std::string& k) {
+  return m.count(k) != 0;
+}
+
+}  // namespace cmcp::common

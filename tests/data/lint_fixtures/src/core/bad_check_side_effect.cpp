@@ -1,0 +1,16 @@
+// Fixture: check-side-effect fires twice — an increment and an assignment
+// inside check-macro arguments.
+#include "common/assert.h"
+
+namespace cmcp::core {
+
+void bad_checks(int& faults, int budget) {
+  CMCP_CHECK(++faults < budget);          // finding: increment in CMCP_CHECK
+  int spent = 0;
+  CMCP_CHECK_MSG(spent = faults, "spent");  // finding: assignment
+  (void)spent;
+  // Not a finding: comparisons are observation-only.
+  CMCP_CHECK(faults <= budget);
+}
+
+}  // namespace cmcp::core

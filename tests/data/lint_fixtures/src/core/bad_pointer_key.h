@@ -1,0 +1,20 @@
+// Fixture: ordered-pointer-key and hashed-pointer-key fire once each.
+#pragma once
+
+#include <map>
+#include <set>
+#include <unordered_set>
+
+namespace cmcp::core {
+
+struct Page;
+
+class BadOwnership {
+ private:
+  std::map<Page*, int> owners_;         // ordered-pointer-key
+  std::unordered_set<const Page*> hot_;  // hashed-pointer-key
+  // Not a finding: value type is a pointer, the key is an int.
+  std::map<int, Page*> by_id_;
+};
+
+}  // namespace cmcp::core

@@ -1,0 +1,14 @@
+// Fixture: stray-thread fires twice — std::thread and std::atomic outside
+// metrics/parallel_runner.
+#include <atomic>
+#include <thread>
+
+namespace cmcp::core {
+
+void bad_background_scan() {
+  std::atomic<bool> done{false};              // finding: atomic
+  std::thread worker([&] { done = true; });   // finding: thread
+  worker.join();
+}
+
+}  // namespace cmcp::core

@@ -1,0 +1,21 @@
+// Fixture: unordered-iteration fires twice — a range-for and an explicit
+// .begin() walk over containers declared in this file.
+#include <string>
+#include <unordered_map>
+
+namespace cmcp::core {
+
+class BadExporter {
+ public:
+  long total() const {
+    long sum = 0;
+    for (const auto& [name, count] : by_name_) sum += count;  // finding
+    return sum;
+  }
+  auto first() const { return by_name_.begin(); }  // finding
+
+ private:
+  std::unordered_map<std::string, long> by_name_;
+};
+
+}  // namespace cmcp::core

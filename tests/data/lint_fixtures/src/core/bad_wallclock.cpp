@@ -1,0 +1,24 @@
+// Fixture: wallclock-time fires four times — the chrono namespace, a clock
+// type, a bare time() call, and a std::-qualified clock() call. (Even the
+// <chrono> include would fire; omitted here to keep findings on
+// expression lines.)
+#include <ctime>
+
+namespace cmcp::core {
+
+long bad_now() {
+  const auto t0 = std::chrono::steady_clock::now();  // findings: chrono + steady_clock
+  (void)t0;
+  long seed = time(nullptr);      // finding: free call
+  seed += std::clock();           // finding: std::-qualified call
+  return seed;
+}
+
+struct Cost {
+  // Not a finding: `clock` as a member name, called through an object.
+  long clock(int core) const { return core; }
+};
+
+long fine(const Cost& c) { return c.clock(0); }
+
+}  // namespace cmcp::core

@@ -1,0 +1,29 @@
+// Fixture: every violation here carries a justified allow() comment, so the
+// file must produce zero findings.
+#include <string>
+#include <unordered_map>
+
+namespace cmcp::core {
+
+class SortedExport {
+ public:
+  long total() const {
+    long sum = 0;
+    // cmcp-lint: allow(unordered-iteration) — collect-then-sort: the result
+    // is order-independent (a commutative sum), verified by the trace gate.
+    for (const auto& [name, count] : by_name_) sum += count;
+    return sum;
+  }
+
+ private:
+  std::unordered_map<std::string, long> by_name_;
+};
+
+struct MappedRegister {
+  // cmcp-lint: allow(volatile-qualifier) — documents a memory-mapped
+  // hardware register layout; this struct is never linked into the
+  // simulator.
+  volatile unsigned bits = 0;
+};
+
+}  // namespace cmcp::core

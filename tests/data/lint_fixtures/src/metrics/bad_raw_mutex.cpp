@@ -1,0 +1,19 @@
+// Fixture: raw-mutex fires twice — a std::mutex member and a
+// std::lock_guard, both bypassing the annotated common::Mutex wrapper.
+#include <mutex>
+
+namespace cmcp::metrics {
+
+class BadCounter {
+ public:
+  void bump() {
+    std::lock_guard<std::mutex> lock(mu_);  // findings: lock_guard + mutex
+    ++n_;
+  }
+
+ private:
+  std::mutex mu_;  // finding: raw mutex member
+  long n_ = 0;
+};
+
+}  // namespace cmcp::metrics

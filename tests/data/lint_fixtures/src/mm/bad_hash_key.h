@@ -1,0 +1,24 @@
+// Fixture: hash-keyed-index must fire twice — an unordered_map keyed by
+// UnitIdx and an unordered_set of Pfn, both in a hot-path directory.
+#pragma once
+
+#include <list>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/types.h"
+
+namespace cmcp::mm {
+
+class BadPositionMap {
+ public:
+  void note(UnitIdx unit, Pfn pfn);
+
+ private:
+  std::unordered_map<UnitIdx, std::list<UnitIdx>::iterator> pos_;  // finding 1
+  std::unordered_set<Pfn> dirty_;                                  // finding 2
+  // Not a finding: the key is a string, not a dense simulation index.
+  std::unordered_map<std::string, int> by_name_;
+};
+
+}  // namespace cmcp::mm

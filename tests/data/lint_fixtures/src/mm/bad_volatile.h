@@ -1,0 +1,10 @@
+// Fixture: volatile-qualifier fires once.
+#pragma once
+
+namespace cmcp::mm {
+
+struct BadFlag {
+  volatile bool scanning = false;  // finding: volatile as "synchronization"
+};
+
+}  // namespace cmcp::mm

@@ -1,0 +1,17 @@
+// Fixture: unseeded-entropy fires twice — a raw engine type and a rand()
+// call outside common::Rng.
+#include <cstdlib>
+#include <random>
+
+namespace cmcp::policy {
+
+int bad_pick(int n) {
+  std::mt19937 gen{std::random_device{}()};  // findings: mt19937 + random_device
+  (void)gen;
+  return rand() % n;  // finding: rand()
+}
+
+// Not a finding: "rand" as a substring of another identifier.
+int random_walk_length() { return 4; }
+
+}  // namespace cmcp::policy

@@ -1,0 +1,17 @@
+// Fixture: pointer-address-cast fires twice — reinterpret_cast and a
+// C-style cast to uintptr_t.
+#include <cstdint>
+
+namespace cmcp::sim {
+
+unsigned long bad_hash_of(const void* p) {
+  const std::uintptr_t a = reinterpret_cast<std::uintptr_t>(p);  // finding 1
+  const auto b = (uintptr_t)p;                                   // finding 2
+  return static_cast<unsigned long>(a ^ b);
+}
+
+// Not a finding: reinterpret_cast between pointer types keeps the value
+// opaque — no address integer escapes.
+const char* as_bytes(const void* p) { return reinterpret_cast<const char*>(p); }
+
+}  // namespace cmcp::sim

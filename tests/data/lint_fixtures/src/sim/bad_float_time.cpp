@@ -1,0 +1,22 @@
+// Fixture: float-virtual-time fires twice — a double variable named like a
+// time quantity, and a float literal initializing a Cycles variable.
+#include "common/types.h"
+
+namespace cmcp::sim {
+
+Cycles bad_accumulate(Cycles base) {
+  double pending_cycles = 0.0;  // finding: float holds virtual time
+  pending_cycles += 1.5;
+  Cycles latency = base * 1.2;  // finding: float literal into Cycles
+  return latency;
+}
+
+// Not a finding: converting OUT of virtual time for reporting is fine, and
+// the explicit static_cast acknowledges the rounding on the way back in.
+double cycles_to_seconds(Cycles c) { return static_cast<double>(c) / 1e9; }
+Cycles rounded(double seconds) {
+  Cycles c = static_cast<Cycles>(seconds * 1e9);
+  return c;
+}
+
+}  // namespace cmcp::sim

@@ -1,0 +1,199 @@
+// cmcp_lint — the repo's domain linter (see src/lint/lint.h for the rule
+// catalog and rationale). Replaces the old CI grep gates with real token-
+// level analysis that understands comments, strings and template arguments.
+//
+// Usage:
+//   cmcp_lint [-p <build-dir>] [--root <repo-root>] [--list-rules] [files...]
+//
+//   -p <build-dir>   also lint every file listed in
+//                    <build-dir>/compile_commands.json that lives under the
+//                    repo root (headers are picked up by the tree walk).
+//   --root <dir>     repo root used for path-scoped rules (default: cwd).
+//   --list-rules     print the rule catalog and exit.
+//   files...         lint exactly these files instead of walking the tree.
+//
+// With no explicit file list, walks src/, tools/ and bench/ under the root.
+// Exit codes follow the bench_compare convention: 0 = clean, 1 = findings,
+// 2 = usage or I/O error.
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint/lint.h"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+bool has_source_extension(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".h" || ext == ".hpp" || ext == ".hh" || ext == ".cpp" ||
+         ext == ".cc" || ext == ".cxx" || ext == ".inl";
+}
+
+/// Minimal extraction of "file" values from compile_commands.json — enough
+/// for CMake's output, with \\ and \" escapes unescaped.
+std::vector<std::string> compile_db_files(const fs::path& db_path,
+                                          bool& ok) {
+  std::ifstream in(db_path);
+  ok = static_cast<bool>(in);
+  std::vector<std::string> files;
+  if (!ok) return files;
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::string text = buf.str();
+  const std::string key = "\"file\"";
+  std::size_t pos = 0;
+  while ((pos = text.find(key, pos)) != std::string::npos) {
+    pos += key.size();
+    while (pos < text.size() && (text[pos] == ' ' || text[pos] == ':')) ++pos;
+    if (pos >= text.size() || text[pos] != '"') continue;
+    ++pos;
+    std::string value;
+    while (pos < text.size() && text[pos] != '"') {
+      if (text[pos] == '\\' && pos + 1 < text.size()) ++pos;
+      value.push_back(text[pos++]);
+    }
+    files.push_back(std::move(value));
+  }
+  return files;
+}
+
+/// Path of `p` relative to `root` with forward slashes, or empty if `p` is
+/// not under `root`.
+std::string relative_to_root(const fs::path& p, const fs::path& root) {
+  std::error_code ec;
+  const fs::path rel = fs::relative(fs::weakly_canonical(p, ec), root, ec);
+  if (ec || rel.empty()) return {};
+  std::string s = rel.generic_string();
+  if (s == "." || s.compare(0, 2, "..") == 0) return {};
+  return s;
+}
+
+int usage(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " [-p <build-dir>] [--root <dir>] [--list-rules] [files...]\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fs::path root = fs::current_path();
+  fs::path build_dir;
+  std::vector<std::string> explicit_files;
+  bool list_rules = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "-p") {
+      if (++i >= argc) return usage(argv[0]);
+      build_dir = argv[i];
+    } else if (arg == "--root") {
+      if (++i >= argc) return usage(argv[0]);
+      root = argv[i];
+    } else if (arg == "--list-rules") {
+      list_rules = true;
+    } else if (arg == "-h" || arg == "--help") {
+      usage(argv[0]);
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage(argv[0]);
+    } else {
+      explicit_files.push_back(arg);
+    }
+  }
+
+  if (list_rules) {
+    for (const auto& rule : cmcp::lint::rule_catalog())
+      std::cout << rule.id << ": " << rule.summary << "\n";
+    return 0;
+  }
+
+  std::error_code ec;
+  root = fs::weakly_canonical(root, ec);
+  if (ec || !fs::is_directory(root)) {
+    std::cerr << "cmcp_lint: root is not a directory: " << root << "\n";
+    return 2;
+  }
+
+  // Assemble the work list: (repo-relative path, absolute path).
+  std::vector<std::pair<std::string, fs::path>> work;
+  auto add = [&](const fs::path& abs) {
+    std::string rel = relative_to_root(abs, root);
+    if (!rel.empty()) work.emplace_back(std::move(rel), abs);
+  };
+
+  if (!explicit_files.empty()) {
+    for (const std::string& f : explicit_files) {
+      const fs::path abs = fs::absolute(f, ec);
+      std::string rel = relative_to_root(abs, root);
+      if (rel.empty()) {
+        std::cerr << "cmcp_lint: " << f << " is outside root " << root << "\n";
+        return 2;
+      }
+      work.emplace_back(std::move(rel), abs);
+    }
+  } else {
+    for (const char* top : {"src", "tools", "bench"}) {
+      const fs::path dir = root / top;
+      if (!fs::is_directory(dir)) continue;
+      for (const auto& entry : fs::recursive_directory_iterator(dir)) {
+        if (entry.is_regular_file() && has_source_extension(entry.path()))
+          add(entry.path());
+      }
+    }
+    if (!build_dir.empty()) {
+      bool ok = false;
+      for (const std::string& f :
+           compile_db_files(build_dir / "compile_commands.json", ok)) {
+        const fs::path p(f);
+        if (has_source_extension(p)) add(p);
+      }
+      if (!ok) {
+        std::cerr << "cmcp_lint: cannot read " << build_dir
+                  << "/compile_commands.json (configure with "
+                     "CMAKE_EXPORT_COMPILE_COMMANDS=ON)\n";
+        return 2;
+      }
+    }
+  }
+
+  // Deterministic order, one visit per file.
+  std::sort(work.begin(), work.end());
+  work.erase(std::unique(work.begin(), work.end(),
+                         [](const auto& a, const auto& b) {
+                           return a.first == b.first;
+                         }),
+             work.end());
+
+  std::vector<cmcp::lint::Finding> findings;
+  for (const auto& [rel, abs] : work) {
+    std::ifstream in(abs, std::ios::binary);
+    if (!in) {
+      std::cerr << "cmcp_lint: cannot read " << abs << "\n";
+      return 2;
+    }
+    std::stringstream buf;
+    buf << in.rdbuf();
+    const std::string content = buf.str();
+    auto file_findings = cmcp::lint::lint_source(rel, content);
+    findings.insert(findings.end(),
+                    std::make_move_iterator(file_findings.begin()),
+                    std::make_move_iterator(file_findings.end()));
+  }
+  cmcp::lint::sort_findings(findings);
+
+  for (const auto& f : findings) {
+    std::cout << f.path << ":" << f.line << ": [" << f.rule << "] "
+              << f.message << "\n";
+  }
+  std::cout << "cmcp_lint: " << findings.size() << " finding(s) across "
+            << work.size() << " file(s)\n";
+  return findings.empty() ? 0 : 1;
+}
