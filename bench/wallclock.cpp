@@ -29,12 +29,15 @@
 #include <vector>
 
 #include "cmcp.h"
+#include "core/multi_tenant.h"
 #include "metrics/experiment.h"
 #include "metrics/result_writer.h"
+#include "mm/frame_partition.h"
 #include "mm/page_registry.h"
 #include "mm/pspt.h"
 #include "policy/fifo.h"
 #include "sim/tlb.h"
+#include "workloads/multi_tenant.h"
 
 using namespace cmcp;
 
@@ -98,6 +101,41 @@ PhaseResult run_sim_phase(const metrics::RunSpec& spec) {
   const auto result = sim.run();
   const auto t2 = Clock::now();
   r.refs = result.app_total.accesses;
+  r.build_ns = ns_between(t0, t1);
+  r.wall_ns = ns_between(t1, t2);
+  r.makespan = result.makespan;
+  return r;
+}
+
+/// Multi-tenant sim phase: `tenants` paper workloads (alternating cg / bt)
+/// stacked on one machine under proportional-share partitioning, sized so
+/// the shared device stays contended. Exercises the coordinator paths the
+/// single-tenant rows cannot: per-space fault/evict/scan, cross-space QoS
+/// victim picks, and frame-ownership accounting.
+PhaseResult run_mt_phase(unsigned tenants, CoreId cores_per_tenant,
+                         double memory_fraction) {
+  PhaseResult r;
+  const auto t0 = Clock::now();
+  wl::WorkloadParams base;
+  base.cores = cores_per_tenant;
+  wl::MultiTenantSpec spec;
+  std::vector<core::TenantRunConfig> tenant_configs(tenants);
+  for (unsigned t = 0; t < tenants; ++t) {
+    const wl::PaperWorkload w =
+        (t % 2 == 0) ? wl::PaperWorkload::kCg : wl::PaperWorkload::kBt;
+    spec.add(wl::make_paper_workload(w, base));
+    tenant_configs[t].policy.kind = PolicyKind::kCmcp;
+    tenant_configs[t].policy.cmcp.p = wl::paper_best_p(w);
+  }
+  core::MultiTenantConfig config;
+  config.partition = mm::PartitionKind::kProportionalShare;
+  config.memory_fraction = memory_fraction;
+  const auto t1 = Clock::now();
+  const core::MultiTenantResult result =
+      core::run_multi_tenant(config, spec, tenant_configs);
+  const auto t2 = Clock::now();
+  for (const core::TenantResult& t : result.tenants)
+    r.refs += t.total.accesses;
   r.build_ns = ns_between(t0, t1);
   r.wall_ns = ns_between(t1, t2);
   r.makespan = result.makespan;
@@ -270,6 +308,32 @@ int main(int argc, char** argv) {
     spec.memory_fraction = c.memory_fraction;
     phases.push_back(
         best_of(c.name, "sim", repeat, [&] { return run_sim_phase(spec); }));
+    std::printf("%-22s %10.1f ms  %8.1f ns/ref\n", phases.back().name.c_str(),
+                phases.back().wall_ns / 1e6,
+                phases.back().wall_ns /
+                    static_cast<double>(std::max<std::uint64_t>(
+                        phases.back().refs, 1)));
+  }
+
+  // Multi-tenant rows: total app cores match the single-tenant rows so
+  // ns/ref is comparable; memory_fraction is of the COMBINED footprint,
+  // tight enough that cross-tenant eviction pressure is constant.
+  struct MtCase {
+    const char* name;
+    unsigned tenants;
+    double memory_fraction;
+  };
+  const MtCase mts[] = {
+      {"mt2_cg_bt_prop", 2, 0.5},
+      {"mt4_cg_bt_prop", 4, 0.5},
+  };
+  for (const MtCase& c : mts) {
+    if (!want(c.name)) continue;
+    const CoreId per_tenant = static_cast<CoreId>(
+        std::max<unsigned>(1, paper_cores / c.tenants));
+    phases.push_back(best_of(c.name, "sim", repeat, [&] {
+      return run_mt_phase(c.tenants, per_tenant, c.memory_fraction);
+    }));
     std::printf("%-22s %10.1f ms  %8.1f ns/ref\n", phases.back().name.c_str(),
                 phases.back().wall_ns / 1e6,
                 phases.back().wall_ns /

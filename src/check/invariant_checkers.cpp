@@ -1,8 +1,11 @@
 #include "check/invariant_checkers.h"
 
+#include <string>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
+#include "core/address_space.h"
 #include "mm/pspt.h"
 
 namespace cmcp::check {
@@ -15,18 +18,20 @@ using sim::CheckViolation;
 /// PSPT consistency (paper section 2.3): for every resident unit the
 /// directory's core-map count, the mapping-core mask, the per-core private
 /// PTEs, and the ResidentPage's cached count must all agree — CMCP's whole
-/// priority signal is this number.
+/// priority signal is this number. One instance per address space (each
+/// space owns its own table and registry).
 class PsptConsistencyChecker final : public sim::Checker {
  public:
-  explicit PsptConsistencyChecker(const core::MemoryManager& mm) : mm_(mm) {}
+  PsptConsistencyChecker(const core::AddressSpace& space, std::string name)
+      : space_(space), name_(std::move(name)) {}
 
-  std::string_view name() const override { return "pspt-consistency"; }
+  std::string_view name() const override { return name_; }
 
   void check(CheckPoint /*point*/, std::vector<CheckViolation>& out) override {
-    const mm::PageTable& pt = mm_.page_table();
+    const mm::PageTable& pt = space_.page_table();
     std::uint64_t mapped_resident = 0;
     std::uint64_t count_sum = 0;
-    mm_.registry().for_each([&](const mm::ResidentPage& pg) {
+    space_.registry().for_each([&](const mm::ResidentPage& pg) {
       const unsigned count = pt.core_map_count(pg.unit);
       const CoreMask mask = pt.mapping_cores(pg.unit);
       count_sum += count;
@@ -71,7 +76,7 @@ class PsptConsistencyChecker final : public sim::Checker {
     // table populations (catches count drift that preserves the mask).
     if (const auto* pspt = dynamic_cast<const mm::Pspt*>(&pt)) {
       std::uint64_t per_core_sum = 0;
-      for (CoreId c = 0; c < mm_.num_cores(); ++c)
+      for (CoreId c = 0; c < space_.num_cores(); ++c)
         per_core_sum += pspt->mapped_units_of_core(c);
       if (per_core_sum != count_sum)
         out.push_back({std::string(name()), "count-crossfoot",
@@ -83,14 +88,17 @@ class PsptConsistencyChecker final : public sim::Checker {
   }
 
  private:
-  const core::MemoryManager& mm_;
+  const core::AddressSpace& space_;
+  const std::string name_;
 };
 
 /// TLB/PTE coherence: a valid TLB entry without a live PTE would let a core
 /// use a translation the protocol believes it tore down — the exact failure
 /// shootdown targeting exists to prevent. The engine applies invalidations
 /// synchronously, so at every checkpoint no invalidation is in flight and
-/// the invariant is strict: cached => mapped.
+/// the invariant is strict: cached => mapped. Each core's cached units are
+/// checked against its OWN address space's table (unit indices are
+/// space-local; the core -> space map disambiguates them).
 class TlbConsistencyChecker final : public sim::Checker {
  public:
   TlbConsistencyChecker(const core::MemoryManager& mm,
@@ -100,8 +108,9 @@ class TlbConsistencyChecker final : public sim::Checker {
   std::string_view name() const override { return "tlb-consistency"; }
 
   void check(CheckPoint /*point*/, std::vector<CheckViolation>& out) override {
-    const mm::PageTable& pt = mm_.page_table();
     for (CoreId core = 0; core < machine_.num_cores(); ++core) {
+      const mm::PageTable& pt =
+          mm_.space(machine_.space_of_core(core)).page_table();
       machine_.tlb(core).for_each_entry([&](UnitIdx unit) {
         if (!pt.has_mapping(core, unit))
           out.push_back({std::string(name()), "stale-tlb-entry",
@@ -118,9 +127,9 @@ class TlbConsistencyChecker final : public sim::Checker {
 };
 
 /// Frame accounting: the allocator's in-use count must equal the number of
-/// resident pages (each holds exactly one frame), and no two resident pages
-/// may share a frame — a double-free or double-allocate here corrupts every
-/// downstream figure.
+/// resident pages across every address space (each holds exactly one
+/// frame), and no two resident pages — of any space — may share a frame. A
+/// double-free or double-allocate here corrupts every downstream figure.
 class FrameRefcountChecker final : public sim::Checker {
  public:
   explicit FrameRefcountChecker(const core::MemoryManager& mm) : mm_(mm) {}
@@ -129,27 +138,32 @@ class FrameRefcountChecker final : public sim::Checker {
 
   void check(CheckPoint /*point*/, std::vector<CheckViolation>& out) override {
     const mm::FrameAllocator& alloc = mm_.allocator();
-    if (alloc.in_use() != mm_.registry().size())
+    std::uint64_t resident_total = 0;
+    for (Asid s = 0; s < mm_.num_spaces(); ++s)
+      resident_total += mm_.space(s).registry().size();
+    if (alloc.in_use() != resident_total)
       out.push_back({std::string(name()), "in-use-vs-resident",
                      "allocator has " + std::to_string(alloc.in_use()) +
                          " frames in use but " +
-                         std::to_string(mm_.registry().size()) +
+                         std::to_string(resident_total) +
                          " pages are resident",
                      kInvalidUnit, kInvalidCore});
     seen_.clear();
-    mm_.registry().for_each([&](const mm::ResidentPage& pg) {
-      if (pg.pfn == kInvalidPfn) {
-        out.push_back({std::string(name()), "invalid-pfn",
-                       "resident page holds kInvalidPfn", pg.unit,
-                       kInvalidCore});
-        return;
-      }
-      if (!seen_.insert(pg.pfn).second)
-        out.push_back({std::string(name()), "frame-aliased",
-                       "frame " + std::to_string(pg.pfn) +
-                           " is held by more than one resident page",
-                       pg.unit, kInvalidCore});
-    });
+    for (Asid s = 0; s < mm_.num_spaces(); ++s) {
+      mm_.space(s).registry().for_each([&](const mm::ResidentPage& pg) {
+        if (pg.pfn == kInvalidPfn) {
+          out.push_back({std::string(name()), "invalid-pfn",
+                         "resident page holds kInvalidPfn", pg.unit,
+                         kInvalidCore});
+          return;
+        }
+        if (!seen_.insert(pg.pfn).second)
+          out.push_back({std::string(name()), "frame-aliased",
+                         "frame " + std::to_string(pg.pfn) +
+                             " is held by more than one resident page",
+                         pg.unit, kInvalidCore});
+      });
+    }
   }
 
  private:
@@ -157,25 +171,52 @@ class FrameRefcountChecker final : public sim::Checker {
   std::unordered_set<Pfn> seen_;  ///< scratch, reused across sweeps
 };
 
-/// Policy accounting: every built-in policy reports how many pages its
-/// internal lists track; that number must equal the resident-set size
-/// (pinned preload runs bypass policy bookkeeping and are exempt).
-class PolicyAccountingChecker final : public sim::Checker {
+/// Frame ownership (multi-tenant QoS accounting): every frame a space's
+/// resident page holds must be recorded by the allocator as owned by that
+/// space's asid, each space's resident-set size must equal the allocator's
+/// per-tenant in-use count, and the per-tenant counts must cross-foot to
+/// the total. The partition policy's floors and targets are computed from
+/// these counters — drift here silently breaks the QoS guarantees.
+class FrameOwnershipChecker final : public sim::Checker {
  public:
-  explicit PolicyAccountingChecker(const core::MemoryManager& mm) : mm_(mm) {}
+  explicit FrameOwnershipChecker(const core::MemoryManager& mm) : mm_(mm) {}
 
-  std::string_view name() const override { return "policy-accounting"; }
+  std::string_view name() const override { return "frame-ownership"; }
 
   void check(CheckPoint /*point*/, std::vector<CheckViolation>& out) override {
-    if (mm_.pinned()) return;
-    const std::int64_t tracked = mm_.policy().tracked_pages();
-    if (tracked < 0) return;  // custom policy without introspection
-    const auto resident = static_cast<std::int64_t>(mm_.registry().size());
-    if (tracked != resident)
-      out.push_back({std::string(name()), "list-size-vs-resident",
-                     std::string(mm_.policy().name()) + " tracks " +
-                         std::to_string(tracked) + " pages but " +
-                         std::to_string(resident) + " are resident",
+    const mm::FrameAllocator& alloc = mm_.allocator();
+    std::uint64_t owned_total = 0;
+    for (Asid s = 0; s < mm_.num_spaces(); ++s) {
+      const core::AddressSpace& space = mm_.space(s);
+      space.registry().for_each([&](const mm::ResidentPage& pg) {
+        if (pg.pfn == kInvalidPfn) return;  // frame-refcount reports this
+        const Asid owner = alloc.owner_of(pg.pfn);
+        if (owner != s)
+          out.push_back({std::string(name()), "wrong-owner",
+                         "frame " + std::to_string(pg.pfn) +
+                             " is resident in space " + std::to_string(s) +
+                             " but the allocator records owner " +
+                             (owner == kInvalidAsid ? std::string("<free>")
+                                                    : std::to_string(owner)),
+                         pg.unit, kInvalidCore});
+      });
+      const std::uint64_t held = alloc.in_use_by(s);
+      if (held != space.registry().size())
+        out.push_back({std::string(name()), "per-space-count",
+                       "allocator says space " + std::to_string(s) +
+                           " holds " + std::to_string(held) +
+                           " frames but its registry has " +
+                           std::to_string(space.registry().size()) +
+                           " resident pages",
+                       kInvalidUnit, kInvalidCore});
+      owned_total += held;
+    }
+    if (owned_total != alloc.in_use())
+      out.push_back({std::string(name()), "ownership-crossfoot",
+                     "per-tenant in-use counts sum to " +
+                         std::to_string(owned_total) + " but " +
+                         std::to_string(alloc.in_use()) +
+                         " frames are in use",
                      kInvalidUnit, kInvalidCore});
   }
 
@@ -183,20 +224,50 @@ class PolicyAccountingChecker final : public sim::Checker {
   const core::MemoryManager& mm_;
 };
 
+/// Policy accounting: every built-in policy reports how many pages its
+/// internal lists track; that number must equal the resident-set size of
+/// the policy's own address space (pinned preload runs bypass policy
+/// bookkeeping and are exempt).
+class PolicyAccountingChecker final : public sim::Checker {
+ public:
+  PolicyAccountingChecker(const core::AddressSpace& space, std::string name)
+      : space_(space), name_(std::move(name)) {}
+
+  std::string_view name() const override { return name_; }
+
+  void check(CheckPoint /*point*/, std::vector<CheckViolation>& out) override {
+    if (space_.pinned()) return;
+    const std::int64_t tracked = space_.policy().tracked_pages();
+    if (tracked < 0) return;  // custom policy without introspection
+    const auto resident = static_cast<std::int64_t>(space_.registry().size());
+    if (tracked != resident)
+      out.push_back({std::string(name()), "list-size-vs-resident",
+                     std::string(space_.policy().name()) + " tracks " +
+                         std::to_string(tracked) + " pages but " +
+                         std::to_string(resident) + " are resident",
+                     kInvalidUnit, kInvalidCore});
+  }
+
+ private:
+  const core::AddressSpace& space_;
+  const std::string name_;
+};
+
 /// Virtual-time sanity: a core clock running backwards would silently
 /// reorder every queueing decision after it (PCIe, invalidation slot, page
 /// table locks) — the determinism guarantee would still "pass" while
-/// modelling a different machine.
+/// modelling a different machine. Covers every scanner pseudo-core (one per
+/// address space).
 class ClockMonotonicityChecker final : public sim::Checker {
  public:
   explicit ClockMonotonicityChecker(const sim::Machine& machine)
       : machine_(machine),
-        last_(static_cast<std::size_t>(machine.num_cores()) + 1, 0) {}
+        last_(static_cast<std::size_t>(machine.total_cores()), 0) {}
 
   std::string_view name() const override { return "clock-monotonic"; }
 
   void check(CheckPoint /*point*/, std::vector<CheckViolation>& out) override {
-    for (CoreId core = 0; core <= machine_.num_cores(); ++core) {
+    for (CoreId core = 0; core < machine_.total_cores(); ++core) {
       const Cycles now = machine_.clock(core);
       if (now < last_[core])
         out.push_back({std::string(name()), "clock-regression",
@@ -209,14 +280,24 @@ class ClockMonotonicityChecker final : public sim::Checker {
 
  private:
   const sim::Machine& machine_;
-  std::vector<Cycles> last_;  ///< indexed by core, scanner pseudo-core last
+  std::vector<Cycles> last_;  ///< indexed by core, scanner pseudo-cores last
 };
+
+/// "pspt-consistency" when the manager has one space (the pre-refactor
+/// name, kept stable for tooling); "pspt-consistency/asid2" per space
+/// otherwise.
+std::string scoped_name(const char* base, const core::MemoryManager& mm,
+                        Asid asid) {
+  if (mm.num_spaces() <= 1) return base;
+  return std::string(base) + "/asid" + std::to_string(asid);
+}
 
 }  // namespace
 
 std::unique_ptr<sim::Checker> make_pspt_consistency_checker(
     const core::MemoryManager& mm) {
-  return std::make_unique<PsptConsistencyChecker>(mm);
+  return std::make_unique<PsptConsistencyChecker>(
+      mm.space(0), scoped_name("pspt-consistency", mm, 0));
 }
 
 std::unique_ptr<sim::Checker> make_tlb_consistency_checker(
@@ -229,9 +310,15 @@ std::unique_ptr<sim::Checker> make_frame_refcount_checker(
   return std::make_unique<FrameRefcountChecker>(mm);
 }
 
+std::unique_ptr<sim::Checker> make_frame_ownership_checker(
+    const core::MemoryManager& mm) {
+  return std::make_unique<FrameOwnershipChecker>(mm);
+}
+
 std::unique_ptr<sim::Checker> make_policy_accounting_checker(
     const core::MemoryManager& mm) {
-  return std::make_unique<PolicyAccountingChecker>(mm);
+  return std::make_unique<PolicyAccountingChecker>(
+      mm.space(0), scoped_name("policy-accounting", mm, 0));
 }
 
 std::unique_ptr<sim::Checker> make_clock_monotonicity_checker(
@@ -242,10 +329,15 @@ std::unique_ptr<sim::Checker> make_clock_monotonicity_checker(
 void register_default_checkers(sim::CheckRegistry& registry,
                                const core::MemoryManager& mm,
                                const sim::Machine& machine) {
-  registry.add(make_pspt_consistency_checker(mm));
+  for (Asid s = 0; s < mm.num_spaces(); ++s)
+    registry.add(std::make_unique<PsptConsistencyChecker>(
+        mm.space(s), scoped_name("pspt-consistency", mm, s)));
   registry.add(make_tlb_consistency_checker(mm, machine));
   registry.add(make_frame_refcount_checker(mm));
-  registry.add(make_policy_accounting_checker(mm));
+  registry.add(make_frame_ownership_checker(mm));
+  for (Asid s = 0; s < mm.num_spaces(); ++s)
+    registry.add(std::make_unique<PolicyAccountingChecker>(
+        mm.space(s), scoped_name("policy-accounting", mm, s)));
   registry.add(make_clock_monotonicity_checker(machine));
 }
 

@@ -5,8 +5,14 @@
 //   pspt-consistency   core-map count == mapping mask == per-core PTEs
 //   tlb-consistency    no cached translation without a live PTE
 //   frame-refcount     frames in use == resident pages, one frame per page
+//   frame-ownership    every frame owned by exactly the space holding it;
+//                      per-tenant in-use counts match registries and cross-foot
 //   policy-accounting  policy list sizes == resident-set size
 //   clock-monotonic    per-core virtual clocks never run backwards
+//
+// Per-space checkers (pspt-consistency, policy-accounting) are registered
+// once per address space; with more than one space their names gain an
+// "/asid<N>" suffix so violations localize to a tenant.
 //
 // All factories take the objects by reference; the checkers are read-only
 // observers and must not outlive the MemoryManager / Machine they watch.
@@ -27,6 +33,9 @@ std::unique_ptr<sim::Checker> make_tlb_consistency_checker(
     const core::MemoryManager& mm, const sim::Machine& machine);
 
 std::unique_ptr<sim::Checker> make_frame_refcount_checker(
+    const core::MemoryManager& mm);
+
+std::unique_ptr<sim::Checker> make_frame_ownership_checker(
     const core::MemoryManager& mm);
 
 std::unique_ptr<sim::Checker> make_policy_accounting_checker(

@@ -61,12 +61,26 @@ struct UnitState {
   bool fetch_pending = false;
 };
 
+/// Unit indices are address-space-local, so all protocol state is keyed by
+/// (asid, unit). Single-tenant traces omit the asid field and everything
+/// lands on asid 0 — exactly the pre-multi-tenant behavior. Unit indices
+/// stay far below 2^48, so packing is collision-free.
+constexpr std::uint64_t kNoPick = ~0ULL;
+std::uint64_t unit_key(std::uint64_t asid, std::uint64_t unit) {
+  return (asid << 48) | unit;
+}
+std::uint64_t key_unit(std::uint64_t key) { return key & ((1ULL << 48) - 1); }
+std::uint64_t key_asid(std::uint64_t key) { return key >> 48; }
+
 struct CoreState {
-  UnitIdx last_pick = kInvalidUnit;  ///< victim_pick awaiting its eviction
-  std::unordered_set<UnitIdx> shot_since_pick;
-  std::unordered_set<UnitIdx> writeback_since_pick;
+  std::uint64_t last_pick = kNoPick;  ///< victim_pick awaiting its eviction
+  std::unordered_set<std::uint64_t> shot_since_pick;
+  std::unordered_set<std::uint64_t> writeback_since_pick;
   Cycles last_ts = 0;      ///< fault/barrier timestamp watermark
   bool has_last_ts = false;
+  /// The address space this core faults for, learned from its first fault.
+  std::uint64_t bound_asid = 0;
+  bool has_bound_asid = false;
 };
 
 class Linter {
@@ -87,6 +101,8 @@ class Linter {
       if (number != 1)
         issue(number, "missing-meta", "meta line must be the first line");
       saw_meta_ = true;
+      // Multi-tenant traces declare their space count; absent means 1.
+      if (const auto spaces = find_uint(text, "spaces")) spaces_ = *spaces;
       return;
     }
     if (*type == "summary") {
@@ -141,11 +157,19 @@ class Linter {
     }
     ++by_kind_[std::string(*kind)];
     const auto unit = find_uint(args, "unit");
+    const auto asid_field = find_uint(args, "asid");
+    const std::uint64_t asid = asid_field.value_or(0);
+    if (asid_field && *asid_field >= spaces_)
+      issue(number, "asid-out-of-range",
+            "event carries asid " + std::to_string(*asid_field) +
+                " but the meta header declares " + std::to_string(spaces_) +
+                " spaces");
 
     if (*kind == "minor_fault") {
       fault_ts(number, *core, *ts);
       if (!unit) return issue(number, "parse-error", "minor_fault without unit");
-      UnitState& st = units_[*unit];
+      fill_asid(number, *core, asid);
+      UnitState& st = units_[unit_key(asid, *unit)];
       if (st.residency == Residency::kEvicted)
         issue(number, "use-after-evict",
               "minor fault on unit " + std::to_string(*unit) +
@@ -154,7 +178,8 @@ class Linter {
     } else if (*kind == "major_fault") {
       fault_ts(number, *core, *ts);
       if (!unit) return issue(number, "parse-error", "major_fault without unit");
-      UnitState& st = units_[*unit];
+      fill_asid(number, *core, asid);
+      UnitState& st = units_[unit_key(asid, *unit)];
       if (!st.fetch_pending)
         issue(number, "major-fault-without-transfer",
               "major fault on unit " + std::to_string(*unit) +
@@ -164,18 +189,18 @@ class Linter {
     } else if (*kind == "victim_pick") {
       if (!unit) return issue(number, "parse-error", "victim_pick without unit");
       CoreState& cs = core_state(*core);
-      cs.last_pick = *unit;
+      cs.last_pick = unit_key(asid, *unit);
       cs.shot_since_pick.clear();
       cs.writeback_since_pick.clear();
     } else if (*kind == "shootdown") {
       // Scanner batches carry no unit; per-unit eviction shootdowns do.
-      if (unit) core_state(*core).shot_since_pick.insert(*unit);
+      if (unit) core_state(*core).shot_since_pick.insert(unit_key(asid, *unit));
     } else if (*kind == "pcie_transfer") {
       const auto dir = find_uint(args, "dir");
       if (!dir) return issue(number, "parse-error", "pcie_transfer without dir");
       if (!unit) return;  // syscall round-trips move no page data
       if (*dir == 0) {    // host->device: a fetch
-        UnitState& st = units_[*unit];
+        UnitState& st = units_[unit_key(asid, *unit)];
         if (st.residency == Residency::kResident)
           issue(number, "refetch-while-resident",
                 "host->device transfer of unit " + std::to_string(*unit) +
@@ -183,17 +208,20 @@ class Linter {
         st.residency = Residency::kResident;
         st.fetch_pending = true;
       } else {  // device->host: a write-back
-        core_state(*core).writeback_since_pick.insert(*unit);
+        core_state(*core).writeback_since_pick.insert(unit_key(asid, *unit));
       }
     } else if (*kind == "eviction") {
-      eviction(number, *core, unit, args);
+      eviction(number, *core, unit, asid_field, args);
     } else if (*kind == "scan_pass") {
-      if (*ts < scan_end_)
+      // One scanner per address space; passes of DIFFERENT spaces may
+      // overlap in global time, so the no-overlap invariant is per space.
+      Cycles& scan_end = scan_end_[asid];
+      if (*ts < scan_end)
         issue(number, "scan-overlap",
               "scan pass starts at " + std::to_string(*ts) +
                   " before the previous pass ended at " +
-                  std::to_string(scan_end_));
-      scan_end_ = *ts + *dur;
+                  std::to_string(scan_end));
+      scan_end = *ts + *dur;
     } else if (*kind == "slot_hold") {
       if (*ts < slot_end_)
         issue(number, "slot-overlap",
@@ -210,7 +238,9 @@ class Linter {
   }
 
   void eviction(std::size_t number, std::uint64_t core,
-                std::optional<std::uint64_t> unit, std::string_view args) {
+                std::optional<std::uint64_t> unit,
+                std::optional<std::uint64_t> asid_field,
+                std::string_view args) {
     if (!unit) return issue(number, "parse-error", "eviction without unit");
     const auto dirty = find_uint(args, "dirty");
     const auto targets = find_uint(args, "targets");
@@ -218,8 +248,16 @@ class Linter {
     if (!dirty || !targets || !wb_bytes)
       return issue(number, "parse-error",
                    "eviction missing dirty/targets/writeback_bytes");
+    // In a multi-tenant trace the unit index alone is ambiguous: the victim's
+    // asid is what lets anyone attribute the eviction (QoS eviction runs on
+    // a core of a DIFFERENT space, so the core id is no substitute).
+    if (spaces_ > 1 && !asid_field)
+      issue(number, "eviction-missing-asid",
+            "multi-tenant eviction of unit " + std::to_string(*unit) +
+                " does not carry the victim's asid");
+    const std::uint64_t asid = asid_field.value_or(0);
 
-    UnitState& st = units_[*unit];
+    UnitState& st = units_[unit_key(asid, *unit)];
     if (st.residency == Residency::kEvicted)
       issue(number, "double-evict",
             "unit " + std::to_string(*unit) +
@@ -232,21 +270,22 @@ class Linter {
     st.fetch_pending = false;
 
     CoreState& cs = core_state(core);
-    if (cs.last_pick != *unit)
+    if (cs.last_pick != unit_key(asid, *unit))
       issue(number, "eviction-without-pick",
             "eviction of unit " + std::to_string(*unit) + " on core " +
                 std::to_string(core) +
-                (cs.last_pick == kInvalidUnit
+                (cs.last_pick == kNoPick
                      ? std::string(" with no pending victim_pick")
                      : " but the pending victim_pick chose unit " +
-                           std::to_string(cs.last_pick)));
-    cs.last_pick = kInvalidUnit;
+                           std::to_string(key_unit(cs.last_pick)) +
+                           " of asid " + std::to_string(key_asid(cs.last_pick))));
+    cs.last_pick = kNoPick;
 
     // targets counts every mapping core including the initiator; a remote
     // shootdown event is mandatory once anyone else maps the unit. With a
     // single mapper the sole PTE may belong to the initiator, whose INVLPG
     // is local and emits nothing.
-    if (*targets >= 2 && cs.shot_since_pick.count(*unit) == 0)
+    if (*targets >= 2 && cs.shot_since_pick.count(unit_key(asid, *unit)) == 0)
       issue(number, "eviction-without-shootdown",
             "unit " + std::to_string(*unit) + " was mapped by " +
                 std::to_string(*targets) +
@@ -257,7 +296,7 @@ class Linter {
         issue(number, "writeback-mismatch",
               "dirty eviction of unit " + std::to_string(*unit) +
                   " reports zero writeback bytes");
-      if (cs.writeback_since_pick.count(*unit) == 0)
+      if (cs.writeback_since_pick.count(unit_key(asid, *unit)) == 0)
         issue(number, "writeback-mismatch",
               "dirty eviction of unit " + std::to_string(*unit) +
                   " has no device->host transfer preceding it");
@@ -266,6 +305,24 @@ class Linter {
             "clean eviction of unit " + std::to_string(*unit) +
                 " reports " + std::to_string(*wb_bytes) + " writeback bytes");
     }
+  }
+
+  /// No cross-asid TLB fill: every core faults for exactly one address
+  /// space (its own); the binding is learned from the core's first fault.
+  /// Evictions and picks are exempt — QoS eviction legitimately evicts a
+  /// NEIGHBOR's unit from a core of the faulting space.
+  void fill_asid(std::size_t number, std::uint64_t core, std::uint64_t asid) {
+    CoreState& cs = core_state(core);
+    if (!cs.has_bound_asid) {
+      cs.bound_asid = asid;
+      cs.has_bound_asid = true;
+      return;
+    }
+    if (cs.bound_asid != asid)
+      issue(number, "cross-asid-fill",
+            "core " + std::to_string(core) + " fills a translation for asid " +
+                std::to_string(asid) + " but belongs to asid " +
+                std::to_string(cs.bound_asid));
   }
 
   /// Per-core monotonicity over the kinds stamped with the core's own clock
@@ -315,10 +372,11 @@ class Linter {
   }
 
   LintResult& result_;
-  std::unordered_map<UnitIdx, UnitState> units_;
+  std::unordered_map<std::uint64_t, UnitState> units_;  ///< by (asid, unit)
   std::unordered_map<std::uint64_t, CoreState> cores_;
   std::unordered_map<std::string, std::uint64_t> by_kind_;
-  Cycles scan_end_ = 0;
+  std::uint64_t spaces_ = 1;  ///< meta "spaces" field; 1 = single-tenant
+  std::unordered_map<std::uint64_t, Cycles> scan_end_;  ///< by asid
   Cycles slot_end_ = 0;
   bool saw_meta_ = false;
   bool complained_meta_ = false;

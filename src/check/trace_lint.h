@@ -22,10 +22,23 @@
 //   writeback-mismatch         dirty evictions carry a device->host
 //                              transfer and bytes; clean ones carry neither
 //   scan-overlap               scanner passes never overlap in time
+//                              (per address space — each has its own
+//                              scanner; different spaces may overlap)
 //   slot-overlap               invalidation-slot holds are serialized
 //   core-time-regression       per-core fault/barrier timestamps are
 //                              monotone
 //   summary-count-mismatch     the footer's counts match the stream
+//
+// Multi-tenant traces (meta "spaces" > 1) carry an asid on every event and
+// all unit state above is keyed by (asid, unit); three rules are specific
+// to them:
+//
+//   asid-out-of-range          event asid must be < the declared space count
+//   eviction-missing-asid      evictions must carry the victim's asid (a QoS
+//                              eviction runs on another space's core, so the
+//                              core id cannot attribute the freed frame)
+//   cross-asid-fill            a core only ever faults for its own space
+//                              (binding learned from its first fault)
 //
 // The linter is deliberately independent of the simulator's in-memory
 // structures — it parses the JSON lines directly, so it also guards the

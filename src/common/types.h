@@ -27,10 +27,15 @@ using UnitIdx = std::uint64_t;
 /// Physical frame number of a device-resident mapping unit.
 using Pfn = std::uint64_t;
 
+/// Address-space (tenant) identifier, dense and 0-based. Single-workload
+/// runs own the whole machine as asid 0.
+using Asid = std::uint32_t;
+
 inline constexpr std::uint64_t kBasePageBytes = 4096;
 inline constexpr unsigned kBasePageShift = 12;
 
 inline constexpr Pfn kInvalidPfn = std::numeric_limits<Pfn>::max();
+inline constexpr Asid kInvalidAsid = std::numeric_limits<Asid>::max();
 inline constexpr UnitIdx kInvalidUnit = std::numeric_limits<UnitIdx>::max();
 inline constexpr CoreId kInvalidCore = std::numeric_limits<CoreId>::max();
 

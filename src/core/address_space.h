@@ -1,0 +1,126 @@
+// One tenant's address space: asid + computation area + its own page table
+// (PSPT or regular), page registry, replacement-policy instance and scanner
+// state. The fault path, eviction protocol and scanner sweeps that used to
+// live directly on core::MemoryManager now run here, per space; the
+// MemoryManager coordinates N of these over one shared FrameAllocator and
+// one sim::Machine (shared PCIe link, shared invalidation slot).
+//
+// An AddressSpace is the PolicyHost of its policy: policies see only their
+// own space's resident set — no cross-tenant leakage — and can read their
+// tenant identity via asid().
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+#include "common/types.h"
+#include "mm/address.h"
+#include "mm/frame_allocator.h"
+#include "mm/page_registry.h"
+#include "mm/page_table.h"
+#include "policy/replacement_policy.h"
+#include "sim/checker.h"
+#include "sim/machine.h"
+
+namespace cmcp::core {
+
+class MemoryManager;
+struct MemoryManagerConfig;
+
+class AddressSpace final : public policy::PolicyHost {
+ public:
+  /// `policy_capacity_units` is the device capacity this space's policy
+  /// reasons about (CMCP's p ratio): the full allocator capacity for single
+  /// tenant, the partition target/nominal share for multi-tenant.
+  AddressSpace(MemoryManager& mm, Asid asid, const mm::ComputationArea& area,
+               const MemoryManagerConfig& config,
+               std::uint64_t policy_capacity_units);
+  ~AddressSpace() override;
+
+  /// One reference by `core` to base page `vpn` at virtual time `now`.
+  /// Returns the cycles the reference consumed on `core`.
+  Cycles access(CoreId core, Vpn vpn, bool write, Cycles now);
+
+  /// Run this space's scanner / policy ticks due at or before `watermark`.
+  void run_periodic(Cycles watermark);
+
+  /// Evict one unit chosen by this space's policy; returns cycles consumed
+  /// at `faulting_core` (which may belong to ANOTHER space under QoS
+  /// priority eviction) and frees a frame in the shared allocator.
+  Cycles evict_one(CoreId faulting_core, Cycles now);
+
+  // --- PolicyHost ----------------------------------------------------------
+  std::uint64_t capacity_units() const override { return policy_capacity_units_; }
+  unsigned num_cores() const override;
+  Asid asid() const override { return asid_; }
+  bool unit_accessed(const mm::ResidentPage& page) const override;
+  Cycles core_clock(CoreId core) const override;
+  Cycles clear_accessed_and_shootdown(mm::ResidentPage& page, CoreId initiator,
+                                      Cycles now) override;
+
+  // --- introspection -------------------------------------------------------
+  const mm::PageTable& page_table() const { return *page_table_; }
+  const mm::PageRegistry& registry() const { return registry_; }
+  const mm::ComputationArea& area() const { return area_; }
+  policy::ReplacementPolicy& policy() { return *policy_; }
+  const policy::ReplacementPolicy& policy() const { return *policy_; }
+  bool scanner_enabled() const { return policy_->wants_scanner(); }
+  std::uint64_t scans_completed() const CMCP_EXCLUDES(scan_mu_) {
+    common::LockGuard lock(scan_mu_);
+    return scans_completed_;
+  }
+  bool pinned() const { return pinned_; }
+
+  /// Mutable page-table access for SimCheck fault-injection tests ONLY.
+  mm::PageTable& mutable_page_table_for_test() { return *page_table_; }
+
+  /// Histogram of resident units by number of mapping cores (Fig. 6 data).
+  std::vector<std::uint64_t> sharing_histogram() const;
+
+ private:
+  Cycles prefetch_after(CoreId core, UnitIdx unit, Cycles now);
+
+  /// Shoot down `unit` on `targets`, handling the initiator's own TLB
+  /// locally. Returns initiator cycles.
+  Cycles shootdown_unit(CoreId initiator, Cycles now, CoreMask targets,
+                        UnitIdx unit);
+
+  void preload_all();
+
+  MemoryManager& mm_;
+  sim::Machine& machine_;
+  mm::FrameAllocator& allocator_;  ///< shared across spaces, owned by mm_
+  Asid asid_;
+  mm::ComputationArea area_;
+  std::unique_ptr<mm::PageTable> page_table_;
+  mm::PageRegistry registry_;
+  std::unique_ptr<policy::ReplacementPolicy> policy_;
+  std::uint64_t policy_capacity_units_;
+  unsigned prefetch_degree_;
+  bool async_writeback_;
+
+  /// Address-space-wide page-table lock (regular tables only).
+  Cycles pt_lock_busy_until_ = 0;
+
+  /// Serializes this space's access-bit scanner: at most one sweep mutates
+  /// the flush batch at a time. Ordered above Machine::shootdown_mu_ (the
+  /// sweep flushes batches into the invalidation slot while holding this
+  /// lock) — see the hierarchy in common/mutex.h.
+  mutable common::Mutex scan_mu_;
+  /// Scanner shootdown batch, reused across scan passes (reserved once in
+  /// the constructor so a sweep allocates nothing).
+  std::vector<sim::Machine::BatchItem> scan_flush_ CMCP_GUARDED_BY(scan_mu_);
+  std::uint64_t scans_completed_ CMCP_GUARDED_BY(scan_mu_) = 0;
+
+  /// Engine-thread-only: run_periodic's watermark cursor (the engine calls
+  /// run_periodic from exactly one thread, its contract).
+  Cycles next_tick_ = 0;
+  /// Pinned mode: preloaded with full capacity — no evictions ever.
+  bool pinned_ = false;
+
+  friend class MemoryManager;
+};
+
+}  // namespace cmcp::core

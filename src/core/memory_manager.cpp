@@ -1,424 +1,78 @@
 #include "core/memory_manager.h"
 
-#include <algorithm>
-#include <array>
-#include <vector>
-
 #include "common/assert.h"
-#include "mm/pspt.h"
-#include "mm/regular_page_table.h"
 
 namespace cmcp::core {
 
 namespace {
 
-std::unique_ptr<mm::PageTable> make_page_table(PageTableKind kind, CoreId cores,
-                                               UnitIdx num_units) {
-  std::unique_ptr<mm::PageTable> pt;
-  if (kind == PageTableKind::kRegular)
-    pt = std::make_unique<mm::RegularPageTable>(cores);
-  else
-    pt = std::make_unique<mm::Pspt>(cores);
-  pt->reserve_units(num_units);
-  return pt;
+/// Partition shares for the legacy single-tenant constructor: one tenant,
+/// no reserve, weight 1 — PartitionKind::kNone ignores them anyway.
+std::vector<mm::TenantShare> single_tenant_shares() {
+  return {mm::TenantShare{}};
+}
+
+std::vector<mm::TenantShare> shares_of(const std::vector<AddressSpaceSpec>& specs) {
+  std::vector<mm::TenantShare> out;
+  out.reserve(specs.size());
+  for (const AddressSpaceSpec& s : specs) out.push_back(s.share);
+  return out;
 }
 
 }  // namespace
 
-// SimCheck checkpoints compile out entirely in Release (CMCP_SIMCHECK=OFF):
-// the fault path then carries no extra branch at all, which the
-// trace-determinism CI step verifies byte-for-byte.
-#if CMCP_SIMCHECK_ENABLED
-#define CMCP_SIMCHECK_POINT(point) \
-  do {                             \
-    if (checks_ != nullptr) checks_->run(sim::CheckPoint::point); \
-  } while (0)
-#else
-#define CMCP_SIMCHECK_POINT(point) \
-  do {                             \
-  } while (0)
-#endif
-
 MemoryManager::MemoryManager(sim::Machine& machine, const mm::ComputationArea& area,
                              const MemoryManagerConfig& config)
     : machine_(machine),
-      area_(area),
-      config_(config),
-      page_table_(
-          make_page_table(config.pt_kind, machine.num_cores(), area.num_units())),
       allocator_(config.capacity_units, area.page_size()),
-      policy_(config.custom_policy ? config.custom_policy(*this)
-                                   : policy::make_policy(*this, config.policy)) {
-  CMCP_CHECK(config_.capacity_units > 0);
-  // Dense unit-indexed storage (docs/performance.md) is sized once here so
-  // the per-access path never grows a vector: the registry's unit index and
-  // every TLB's unit -> slot array (app cores + the scanner pseudo-core).
-  registry_.reserve_units(area_.num_units());
-  for (CoreId c = 0; c <= machine_.num_cores(); ++c)
-    machine_.tlb(c).reserve_units(area_.num_units());
-  scan_flush_.reserve(machine_.cost().scanner_flush_batch);
-  next_tick_ = machine_.cost().scan_period;
-  if (config_.preload) {
-    CMCP_CHECK_MSG(config_.capacity_units >= area_.num_units(),
-                   "preload requires capacity covering the footprint");
-    pinned_ = true;
-    preload_all();
-  }
+      partition_(mm::PartitionKind::kNone, config.capacity_units,
+                 single_tenant_shares()),
+      interference_(1, 0) {
+  CMCP_CHECK(config.capacity_units > 0);
+  spaces_.push_back(std::make_unique<AddressSpace>(*this, 0, area, config,
+                                                   config.capacity_units));
 }
 
-void MemoryManager::preload_all() {
-  // Residency without mappings: data was placed in device RAM up front, and
-  // cores establish PTEs on first touch (minor faults, no PCIe traffic).
-  for (UnitIdx unit = 0; unit < area_.num_units(); ++unit) {
-    const Pfn pfn = allocator_.allocate();
-    CMCP_CHECK(pfn != kInvalidPfn);
-    registry_.insert(unit, pfn, 0);
+MemoryManager::MemoryManager(sim::Machine& machine,
+                             const std::vector<AddressSpaceSpec>& specs,
+                             std::uint64_t shared_capacity_units,
+                             mm::PartitionKind partition)
+    : machine_(machine),
+      allocator_(shared_capacity_units, specs.at(0).area.page_size()),
+      partition_(partition, shared_capacity_units, shares_of(specs)),
+      interference_(specs.size() * specs.size(), 0) {
+  CMCP_CHECK(shared_capacity_units > 0);
+  CMCP_CHECK_MSG(machine.num_address_spaces() == specs.size(),
+                 "machine must be built with one scanner pseudo-core per space");
+  for (Asid asid = 0; asid < specs.size(); ++asid) {
+    const AddressSpaceSpec& spec = specs[asid];
+    CMCP_CHECK_MSG(spec.area.page_size() == specs[0].area.page_size(),
+                   "all tenants must share one mapping-unit size");
+    // The nominal capacity this space's policy reasons about (CMCP's p
+    // ratio): an explicit per-tenant value wins, otherwise the partition
+    // target. Under kNone the targets still apportion the capacity by
+    // weight — allocation stays free-for-all, but each policy gets a
+    // sensible denominator instead of believing it owns the whole device.
+    const std::uint64_t nominal = spec.config.capacity_units != 0
+                                      ? spec.config.capacity_units
+                                      : partition_.target_of(asid);
+    spaces_.push_back(
+        std::make_unique<AddressSpace>(*this, asid, spec.area, spec.config, nominal));
   }
 }
 
 Cycles MemoryManager::access(CoreId core, Vpn vpn, bool write, Cycles now) {
-  const sim::CostModel& cost = machine_.cost();
-  metrics::CoreCounters& ctr = machine_.counters(core);
-  ++ctr.accesses;
-
-  const UnitIdx unit = area_.unit_of(vpn);
-  sim::Tlb& tlb = machine_.tlb(core);
-
-  // Fast path: translation cached.
-  if (tlb.lookup(unit)) {
-    const Cycles c = cost.tlb_hit + cost.memory_access;
-    if (write) page_table_->mark_dirty(core, unit);
-    ctr.cycles_mem += c;
-    return c;
-  }
-
-  // dTLB miss: hardware page walk.
-  ++ctr.dtlb_misses;
-  Cycles mem_cycles = cost.walk_cost(area_.page_size());
-
-  if (page_table_->has_mapping(core, unit)) {
-    // Walk hit a valid PTE: refill the TLB, set attribute bits.
-    page_table_->mark_accessed(core, unit);
-    if (write) page_table_->mark_dirty(core, unit);
-    tlb.insert(unit);
-    mem_cycles += cost.memory_access;
-    ctr.cycles_mem += mem_cycles;
-    return mem_cycles;
-  }
-
-  // Page fault.
-  ctr.cycles_mem += mem_cycles;
-  Cycles fault_cycles = cost.fault_entry;
-  Cycles lock_wait = 0;
-  Cycles pcie_wait = 0;
-
-  if (page_table_->kind() == PageTableKind::kRegular) {
-    // Address-space-wide lock: every fault in the process serializes here.
-    const Cycles at = now + mem_cycles + fault_cycles;
-    const Cycles acquired = std::max(at, pt_lock_busy_until_);
-    lock_wait = acquired - at;
-  } else {
-    // PSPT: synchronization only between affected cores; short hold.
-    fault_cycles += cost.pspt_lock_hold;
-  }
-
-  sim::trace::EventSink* const tr = machine_.trace();
-  bool was_major = false;
-  std::uint64_t trace_map_count = 0;
-  std::uint64_t trace_prefetch_hit = 0;
-  std::uint64_t trace_evicted = 0;
-
-  mm::ResidentPage* page = registry_.find(unit);
-  if (page != nullptr) {
-    // Resident but not mapped by this core (PSPT private PTE miss, a
-    // preloaded unit's first touch, or a prefetched unit): copy the
-    // translation — no data moves.
-    ++ctr.minor_faults;
-    fault_cycles += cost.pte_copy_lookup + cost.map_cost(area_.page_size());
-    if (page->ready_at != 0) {
-      // First touch of a prefetched unit: its transfer may still be in
-      // flight; stall until the data lands.
-      const Cycles at = now + mem_cycles + fault_cycles + lock_wait;
-      if (page->ready_at > at) pcie_wait += page->ready_at - at;
-      page->ready_at = 0;
-      ++ctr.prefetch_hits;
-      trace_prefetch_hit = 1;
-    }
-    page_table_->map(core, unit, page->pfn);
-    page->core_map_count = page_table_->core_map_count(unit);
-    trace_map_count = page->core_map_count;
-    if (!pinned_) policy_->on_core_map_grow(*page);
-  } else {
-    // Major fault: the unit lives in host memory.
-    CMCP_CHECK_MSG(!pinned_, "pinned run should never take a major fault");
-    ++ctr.major_faults;
-    was_major = true;
-
-    Pfn pfn = allocator_.allocate();
-    if (pfn == kInvalidPfn) {
-      fault_cycles += evict_one(core, now + mem_cycles + fault_cycles + lock_wait);
-      pfn = allocator_.allocate();
-      CMCP_CHECK(pfn != kInvalidPfn);
-      trace_evicted = 1;
-    }
-
-    // Fetch the unit's data from the host.
-    const Cycles ready = now + mem_cycles + fault_cycles + lock_wait;
-    Cycles queue_wait = 0;
-    const Cycles done = machine_.pcie().transfer(
-        sim::PcieDir::kHostToDevice, ready, unit_bytes(area_.page_size()),
-        &queue_wait);
-    pcie_wait += done - ready;
-    ctr.pcie_bytes_in += unit_bytes(area_.page_size());
-    if (tr != nullptr)
-      tr->emit({sim::trace::EventKind::kPcieTransfer, core, ready, done - ready,
-                unit, 0, unit_bytes(area_.page_size()), queue_wait});
-
-    mm::ResidentPage& fresh = registry_.insert(unit, pfn, now);
-    page_table_->map(core, unit, pfn);
-    fresh.core_map_count = page_table_->core_map_count(unit);
-    fault_cycles += cost.map_cost(area_.page_size()) + cost.policy_op;
-    policy_->on_insert(fresh);
-
-    if (config_.prefetch_degree > 0)
-      fault_cycles += prefetch_after(core, unit, done);
-  }
-
-  if (page_table_->kind() == PageTableKind::kRegular) {
-    // Lock is held across the table update (and any shootdown inside
-    // evict_one), but not across the PCIe transfer.
-    pt_lock_busy_until_ =
-        now + mem_cycles + fault_cycles + lock_wait + cost.regular_pt_lock_hold;
-    fault_cycles += cost.regular_pt_lock_hold;
-  }
-
-  page_table_->mark_accessed(core, unit);
-  if (write) page_table_->mark_dirty(core, unit);
-  tlb.insert(unit);
-
-  ctr.cycles_fault += fault_cycles;
-  ctr.cycles_lock_wait += lock_wait;
-  ctr.cycles_pcie_wait += pcie_wait;
-  const Cycles mem_tail = cost.memory_access;
-  ctr.cycles_mem += mem_tail;
-  const Cycles total = mem_cycles + fault_cycles + lock_wait + pcie_wait + mem_tail;
-  if (tr != nullptr) {
-    if (was_major)
-      tr->emit({sim::trace::EventKind::kMajorFault, core, now, total, unit,
-                trace_evicted, pcie_wait, 0});
-    else
-      tr->emit({sim::trace::EventKind::kMinorFault, core, now, total, unit,
-                trace_map_count, trace_prefetch_hit, 0});
-  }
-  CMCP_SIMCHECK_POINT(kAfterFault);
-  return total;
-}
-
-Cycles MemoryManager::prefetch_after(CoreId core, UnitIdx unit, Cycles now) {
-  // Sequential readahead into free frames only: prefetch must never evict
-  // (a wrong guess would then cost a real page its residency). The
-  // transfers queue on the PCIe link asynchronously; the issuing core only
-  // pays the per-request setup.
-  const sim::CostModel& cost = machine_.cost();
-  metrics::CoreCounters& ctr = machine_.counters(core);
-  Cycles issue_cycles = 0;
-  UnitIdx next = unit + 1;
-  for (unsigned i = 0; i < config_.prefetch_degree; ++i, ++next) {
-    if (next >= area_.num_units()) break;
-    if (allocator_.full()) break;
-    if (registry_.find(next) != nullptr) continue;
-    if (page_table_->any_mapping(next)) continue;
-    const Pfn pfn = allocator_.allocate();
-    CMCP_CHECK(pfn != kInvalidPfn);
-    Cycles queue_wait = 0;
-    const Cycles done = machine_.pcie().transfer(
-        sim::PcieDir::kHostToDevice, now, unit_bytes(area_.page_size()),
-        &queue_wait);
-    if (sim::trace::EventSink* tr = machine_.trace())
-      tr->emit({sim::trace::EventKind::kPcieTransfer, core, now, done - now,
-                next, 0, unit_bytes(area_.page_size()), queue_wait});
-    mm::ResidentPage& pg = registry_.insert(next, pfn, now);
-    pg.ready_at = done;
-    pg.core_map_count = 0;  // no core maps it yet
-    policy_->on_insert(pg);
-    ctr.pcie_bytes_in += unit_bytes(area_.page_size());
-    ++ctr.prefetches;
-    issue_cycles += cost.policy_op;  // request setup
-  }
-  return issue_cycles;
-}
-
-Cycles MemoryManager::shootdown_unit(CoreId initiator, Cycles now, CoreMask targets,
-                                     UnitIdx unit) {
-  const sim::CostModel& cost = machine_.cost();
-  Cycles local = 0;
-  if (targets.test(initiator)) {
-    // The initiator invalidates its own TLB directly (INVLPG, no IPI).
-    targets.clear(initiator);
-    machine_.tlb(initiator).invalidate(unit);
-    local += cost.invlpg;
-  }
-  const std::array<UnitIdx, 1> units = {unit};
-  return local + machine_.shootdown(initiator, now, targets, units);
-}
-
-Cycles MemoryManager::evict_one(CoreId faulting_core, Cycles now) {
-  const sim::CostModel& cost = machine_.cost();
-  metrics::CoreCounters& ctr = machine_.counters(faulting_core);
-
-  Cycles cycles = cost.policy_op;
-  mm::ResidentPage* victim = policy_->pick_victim(faulting_core, cycles);
-  CMCP_CHECK_MSG(victim != nullptr, "no victim with resident pages present");
-
-  sim::trace::EventSink* const tr = machine_.trace();
-  if (tr != nullptr)
-    tr->emit({sim::trace::EventKind::kVictimPick, faulting_core, now, cycles,
-              victim->unit, victim->core_map_count, 0, 0});
-
-  const UnitIdx unit = victim->unit;
-  const bool dirty = page_table_->test_dirty(unit);
-  std::uint64_t trace_targets = 0;
-  if (page_table_->any_mapping(unit)) {
-    const CoreMask affected = page_table_->unmap_all(unit);
-    trace_targets = affected.count();
-    cycles += shootdown_unit(faulting_core, now + cycles, affected, unit);
-  }
-  // (Prefetched-but-never-touched units have no mappings to tear down.)
-
-  if (dirty) {
-    // Write-back of the evicted unit to host memory. Synchronous by
-    // default (the paper's kernel); with async_writeback the core only
-    // queues the transfer — the link still carries the bytes.
-    const Cycles ready = now + cycles;
-    Cycles queue_wait = 0;
-    const Cycles done = machine_.pcie().transfer(
-        sim::PcieDir::kDeviceToHost, ready, unit_bytes(area_.page_size()),
-        &queue_wait);
-    ctr.pcie_bytes_out += unit_bytes(area_.page_size());
-    ++ctr.writebacks;
-    if (tr != nullptr)
-      tr->emit({sim::trace::EventKind::kPcieTransfer, faulting_core, ready,
-                done - ready, unit, 1, unit_bytes(area_.page_size()),
-                queue_wait});
-    if (config_.async_writeback) {
-      cycles += cost.policy_op;  // staging/queueing only
-    } else {
-      ctr.cycles_pcie_wait += done - ready;
-      cycles += done - ready;
-    }
-  }
-
-  policy_->on_evict(*victim);
-  allocator_.free(victim->pfn);
-  registry_.erase(*victim);
-  ++ctr.evictions;
-  if (tr != nullptr)
-    tr->emit({sim::trace::EventKind::kEviction, faulting_core, now, cycles,
-              unit, dirty ? 1u : 0u, trace_targets,
-              dirty ? unit_bytes(area_.page_size()) : 0});
-  CMCP_SIMCHECK_POINT(kAfterEviction);
-  return cycles;
-}
-
-bool MemoryManager::unit_accessed(const mm::ResidentPage& page) const {
-  return page_table_->test_accessed(page.unit, nullptr);
-}
-
-Cycles MemoryManager::core_clock(CoreId core) const {
-  return machine_.clock(core);
-}
-
-Cycles MemoryManager::clear_accessed_and_shootdown(mm::ResidentPage& page,
-                                                   CoreId initiator, Cycles now) {
-  const bool was_set = page_table_->clear_accessed(page.unit);
-  if (!was_set) return 0;
-  // Cached TLB copies are now stale; x86 requires invalidating them on
-  // every core that may hold one.
-  const CoreMask targets = page_table_->mapping_cores(page.unit);
-  return shootdown_unit(initiator, now, targets, page.unit);
+  return spaces_[machine_.space_of_core(core)]->access(core, vpn, write, now);
 }
 
 void MemoryManager::run_periodic(Cycles watermark) {
-  const sim::CostModel& cost = machine_.cost();
-  while (watermark >= next_tick_) {
-    const Cycles tick_time = next_tick_;
-    next_tick_ += cost.scan_period;
-
-    if (policy_->wants_scanner() && !pinned_) {
-      // The scanner daemon runs on a dedicated hyperthread (paper section
-      // 5.1): its cycles accrue to the pseudo-core, not to the app cores —
-      // but every cleared bit shoots down the mapping cores. One sweep at a
-      // time: the sweep owns the reused flush batch for its whole duration.
-      common::LockGuard scan_lock(scan_mu_);
-      const CoreId scanner = machine_.scanner_core();
-      if (machine_.clock(scanner) < tick_time)
-        machine_.set_clock(scanner, tick_time);
-      Cycles read_cycles = 0;
-      const unsigned sub_entries =
-          area_.page_size() == PageSizeClass::k64K ? 16u : 1u;
-      std::uint64_t scanned = 0;
-      std::uint64_t cleared = 0;
-      std::uint64_t flush_rounds = 0;
-      // Reused across scan passes (reserved once in the constructor) so a
-      // sweep allocates nothing.
-      std::vector<sim::Machine::BatchItem>& flush = scan_flush_;
-      flush.clear();
-      const auto flush_batch = [&] {
-        if (flush.empty()) return;
-        ++flush_rounds;
-        // One slot acquisition + one IPI round per run of cleared PTEs,
-        // charged to the scanner's own clock as it happens so concurrent
-        // shootdowns queue against a current timestamp.
-        machine_.advance(scanner, machine_.shootdown_batch(
-                                      scanner, machine_.clock(scanner), flush));
-        flush.clear();
-      };
-      registry_.for_each([&](mm::ResidentPage& pg) {
-        ++scanned;
-        unsigned pte_reads = 0;
-        const bool referenced = page_table_->test_accessed(pg.unit, &pte_reads);
-        read_cycles += cost.scan_pte_read * std::max(1u, pte_reads) * sub_entries;
-        if (referenced) {
-          ++cleared;
-          const CoreMask targets = page_table_->mapping_cores(pg.unit);
-          page_table_->clear_accessed(pg.unit);
-          flush.push_back({pg.unit, targets});
-          if (flush.size() >= cost.scanner_flush_batch) flush_batch();
-        }
-        policy_->on_scan(pg, referenced);
-      });
-      flush_batch();
-      // PTE reads parallelize over the dedicated scanner hyperthreads.
-      machine_.advance(scanner, read_cycles / std::max(1u, cost.scanner_threads));
-      ++scans_completed_;
-      if (sim::trace::EventSink* tr = machine_.trace())
-        tr->emit({sim::trace::EventKind::kScanPass, scanner, tick_time,
-                  machine_.clock(scanner) - tick_time, kInvalidUnit, scanned,
-                  cleared, flush_rounds});
-      // Timer ticks that fire while the scanner is still busy are skipped
-      // (a periodic timer cannot re-enter its own handler); without this the
-      // scan backlog would grow without bound under heavy shootdown load.
-      if (machine_.clock(scanner) > next_tick_) {
-        const Cycles period = cost.scan_period;
-        const Cycles behind = machine_.clock(scanner) - next_tick_;
-        next_tick_ += (behind / period + 1) * period;
-      }
-      CMCP_SIMCHECK_POINT(kAfterScan);
-    }
-
-    policy_->on_tick(tick_time);
-  }
+  for (const std::unique_ptr<AddressSpace>& space : spaces_)
+    space->run_periodic(watermark);
 }
 
-std::vector<std::uint64_t> MemoryManager::sharing_histogram() const {
-  std::vector<std::uint64_t> hist(machine_.num_cores() + 1, 0);
-  // core_map_count is one indexed load per unit (dense directory), so this
-  // whole histogram is a single linear sweep.
-  for (UnitIdx unit = 0; unit < area_.num_units(); ++unit) {
-    const unsigned c = page_table_->core_map_count(unit);
-    if (c > 0) ++hist[std::min<std::size_t>(c, hist.size() - 1)];
-  }
-  return hist;
+Cycles MemoryManager::evict_for(Asid requester, CoreId core, Cycles now) {
+  const Asid victim_space = partition_.choose_victim_space(requester, allocator_);
+  return spaces_[victim_space]->evict_one(core, now);
 }
 
 }  // namespace cmcp::core

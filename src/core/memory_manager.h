@@ -1,18 +1,27 @@
 // The OS-level hierarchical memory manager (paper's proposed model,
 // Fig. 1b/1c): the computation area is partially resident in device RAM and
-// backed by host memory over PCIe; this class handles every memory
-// reference, TLB fill, page fault, eviction, shootdown and transfer, and
-// charges the cycle costs to the right core and category.
+// backed by host memory over PCIe.
+//
+// Since the multi-tenant refactor this class is a *coordinator*: it owns the
+// shared FrameAllocator, the frame-partition (QoS) policy, and N
+// core::AddressSpace instances — each with its own page table, registry and
+// replacement policy — contending for the shared frames, PCIe link and
+// invalidation slot of one sim::Machine. Single-tenant construction (the
+// legacy three-argument constructor) builds exactly one space owning every
+// core and behaves byte-identically to the pre-refactor manager; the
+// accessors that used to expose "the" page table / policy / area delegate to
+// space 0 so existing callers and tests keep working unchanged.
 #pragma once
 
 #include <functional>
 #include <memory>
+#include <vector>
 
-#include "common/mutex.h"
-#include "common/thread_annotations.h"
 #include "common/types.h"
+#include "core/address_space.h"
 #include "mm/address.h"
 #include "mm/frame_allocator.h"
+#include "mm/frame_partition.h"
 #include "mm/page_registry.h"
 #include "mm/page_table.h"
 #include "policy/policy_factory.h"
@@ -23,6 +32,7 @@
 namespace cmcp::core {
 
 /// Factory for user-defined replacement policies (see examples/custom_policy).
+/// The host handed to the factory is the policy's AddressSpace.
 using PolicyFactory = std::function<std::unique_ptr<policy::ReplacementPolicy>(
     policy::PolicyHost&)>;
 
@@ -32,6 +42,9 @@ struct MemoryManagerConfig {
   /// When set, overrides `policy` with a user-supplied implementation.
   PolicyFactory custom_policy;
   /// Device frames available to the computation area, in mapping units.
+  /// Single-tenant: the shared allocator capacity. Per-tenant specs: the
+  /// nominal capacity this space's policy reasons about (0 = derive from
+  /// the partition target).
   std::uint64_t capacity_units = 0;
   /// Sequential prefetch: on a major fault, also fetch up to this many
   /// following non-resident units — but only into FREE frames (prefetch
@@ -50,101 +63,105 @@ struct MemoryManagerConfig {
   bool preload = false;
 };
 
-class MemoryManager final : public policy::PolicyHost {
+/// One tenant of a multi-tenant manager.
+struct AddressSpaceSpec {
+  mm::ComputationArea area;
+  MemoryManagerConfig config;
+  /// QoS parameters consumed by the frame partition.
+  mm::TenantShare share;
+};
+
+class MemoryManager final {
  public:
+  /// Single-tenant (legacy) construction: one address space owning every
+  /// core, PartitionKind::kNone. Byte-identical to the pre-refactor manager.
   MemoryManager(sim::Machine& machine, const mm::ComputationArea& area,
                 const MemoryManagerConfig& config);
 
-  /// One reference by `core` to base page `vpn` at virtual time `now`.
-  /// Returns the cycles the reference consumed on `core` (the caller
-  /// advances the core clock).
+  /// Multi-tenant construction: one address space per spec (asid == index),
+  /// all contending for `shared_capacity_units` frames under `partition`.
+  /// The machine must have been built with
+  /// MachineConfig::num_address_spaces == specs.size(); core -> space
+  /// assignment is the caller's job via Machine::set_core_space.
+  MemoryManager(sim::Machine& machine, const std::vector<AddressSpaceSpec>& specs,
+                std::uint64_t shared_capacity_units, mm::PartitionKind partition);
+
+  /// One reference by `core` to base page `vpn` at virtual time `now`,
+  /// routed to the core's address space. Returns the cycles the reference
+  /// consumed on `core` (the caller advances the core clock).
   Cycles access(CoreId core, Vpn vpn, bool write, Cycles now);
 
-  /// Run scanner / policy ticks that are due at or before `watermark`.
-  /// The engine calls this with a monotonically non-decreasing global time.
+  /// Run scanner / policy ticks that are due at or before `watermark`, for
+  /// every address space in asid order. The engine calls this with a
+  /// monotonically non-decreasing global time.
   void run_periodic(Cycles watermark);
 
-  // --- PolicyHost ----------------------------------------------------------
-  std::uint64_t capacity_units() const override { return config_.capacity_units; }
-  unsigned num_cores() const override { return machine_.num_cores(); }
-  bool unit_accessed(const mm::ResidentPage& page) const override;
-  Cycles core_clock(CoreId core) const override;
-  Cycles clear_accessed_and_shootdown(mm::ResidentPage& page, CoreId initiator,
-                                      Cycles now) override;
+  // --- multi-tenant surface ------------------------------------------------
+  unsigned num_spaces() const { return static_cast<unsigned>(spaces_.size()); }
+  AddressSpace& space(Asid asid) { return *spaces_[asid]; }
+  const AddressSpace& space(Asid asid) const { return *spaces_[asid]; }
+  const mm::FramePartition& partition() const { return partition_; }
 
-  // --- introspection -------------------------------------------------------
-  const mm::PageTable& page_table() const { return *page_table_; }
-  const mm::PageRegistry& registry() const { return registry_; }
-  const mm::FrameAllocator& allocator() const { return allocator_; }
-  const mm::ComputationArea& area() const { return area_; }
-  policy::ReplacementPolicy& policy() { return *policy_; }
-  const policy::ReplacementPolicy& policy() const { return *policy_; }
-  bool scanner_enabled() const { return policy_->wants_scanner(); }
-  std::uint64_t scans_completed() const CMCP_EXCLUDES(scan_mu_) {
-    common::LockGuard lock(scan_mu_);
-    return scans_completed_;
+  /// Pick the victim space for a denied allocation by `requester` and make
+  /// it evict one unit (initiated by `core`, the faulting core). Returns
+  /// cycles consumed at `core`. Exactly one frame becomes free.
+  Cycles evict_for(Asid requester, CoreId core, Cycles now);
+
+  /// Shootdown-interference accounting: `cause` invalidated `units` TLB
+  /// entries on `receiver`'s cores. Mirrors the per-receiver
+  /// remote_invalidations_received counter exactly. Only recorded when
+  /// num_spaces() > 1 (callers gate, keeping the single-tenant path free).
+  void record_interference(Asid cause, Asid receiver, std::uint64_t units) {
+    interference_[cause * spaces_.size() + receiver] += units;
   }
-  bool pinned() const { return pinned_; }
 
-  /// Attach a SimCheck registry (non-owning, may be null). The memory
-  /// manager then runs invariant sweeps at its protocol checkpoints. Only
+  /// interference()[cause * num_spaces() + receiver] = remote TLB entries
+  /// invalidated on `receiver`'s cores by shootdowns `cause` initiated.
+  const std::vector<std::uint64_t>& interference() const { return interference_; }
+
+  // --- single-tenant compatibility (delegates to space 0) ------------------
+  const mm::PageTable& page_table() const { return spaces_[0]->page_table(); }
+  const mm::PageRegistry& registry() const { return spaces_[0]->registry(); }
+  const mm::FrameAllocator& allocator() const { return allocator_; }
+  /// Shared device capacity in mapping units (the allocator's capacity).
+  std::uint64_t capacity_units() const { return allocator_.capacity(); }
+  const mm::ComputationArea& area() const { return spaces_[0]->area(); }
+  policy::ReplacementPolicy& policy() { return spaces_[0]->policy(); }
+  const policy::ReplacementPolicy& policy() const { return spaces_[0]->policy(); }
+  bool scanner_enabled() const { return spaces_[0]->scanner_enabled(); }
+  std::uint64_t scans_completed() const { return spaces_[0]->scans_completed(); }
+  bool pinned() const { return spaces_[0]->pinned(); }
+
+  /// Attach a SimCheck registry (non-owning, may be null). Every address
+  /// space then runs invariant sweeps at its protocol checkpoints. Only
   /// effective when CMCP_SIMCHECK_ENABLED compiles the call sites in.
   void set_check_registry(sim::CheckRegistry* checks) { checks_ = checks; }
   sim::CheckRegistry* check_registry() const { return checks_; }
 
   /// Mutable page-table access for SimCheck fault-injection tests ONLY
   /// (e.g. Pspt::corrupt_count_for_test). Product code must never use it.
-  mm::PageTable& mutable_page_table_for_test() { return *page_table_; }
+  mm::PageTable& mutable_page_table_for_test() {
+    return spaces_[0]->mutable_page_table_for_test();
+  }
 
-  /// Histogram of resident units by number of mapping cores:
-  /// result[c] = units currently mapped by exactly c cores (Fig. 6 data).
-  std::vector<std::uint64_t> sharing_histogram() const;
+  /// Histogram of resident units by number of mapping cores (space 0).
+  std::vector<std::uint64_t> sharing_histogram() const {
+    return spaces_[0]->sharing_histogram();
+  }
 
  private:
-  /// Evict one unit chosen by the policy; returns cycles consumed at
-  /// `faulting_core` and frees a frame.
-  Cycles evict_one(CoreId faulting_core, Cycles now);
-
-  /// Issue sequential prefetches following `unit`; returns issue cycles.
-  Cycles prefetch_after(CoreId core, UnitIdx unit, Cycles now);
-
-  /// Shoot down `unit` on `targets`, handling the initiator's own TLB
-  /// locally. Returns initiator cycles.
-  Cycles shootdown_unit(CoreId initiator, Cycles now, CoreMask targets,
-                        UnitIdx unit);
-
-  void preload_all();
-
   sim::Machine& machine_;
-  mm::ComputationArea area_;
-  MemoryManagerConfig config_;
-  std::unique_ptr<mm::PageTable> page_table_;
   mm::FrameAllocator allocator_;
-  mm::PageRegistry registry_;
-  std::unique_ptr<policy::ReplacementPolicy> policy_;
-
-  /// Address-space-wide page-table lock (regular tables only).
-  Cycles pt_lock_busy_until_ = 0;
+  mm::FramePartition partition_;
+  std::vector<std::unique_ptr<AddressSpace>> spaces_;
 
   sim::CheckRegistry* checks_ = nullptr;  ///< non-owning; null = unchecked
 
-  /// Serializes the access-bit scanner: at most one sweep mutates the flush
-  /// batch at a time. Ordered above Machine::shootdown_mu_ (the sweep
-  /// flushes batches into the invalidation slot while holding this lock) —
-  /// see the hierarchy in common/mutex.h.
-  mutable common::Mutex scan_mu_;
-  /// Scanner shootdown batch, reused across scan passes (reserved once in
-  /// the constructor so a sweep allocates nothing).
-  std::vector<sim::Machine::BatchItem> scan_flush_ CMCP_GUARDED_BY(scan_mu_);
-  std::uint64_t scans_completed_ CMCP_GUARDED_BY(scan_mu_) = 0;
+  /// Engine-thread-only (like the per-space fault-path state): flattened
+  /// [cause][receiver] matrix of remote TLB invalidations across spaces.
+  std::vector<std::uint64_t> interference_;
 
-  /// Engine-thread-only: run_periodic's watermark cursor. The engine calls
-  /// run_periodic from exactly one thread (its contract), so this needs no
-  /// lock — the early-out check must stay cheap on the per-step path.
-  Cycles next_tick_ = 0;
-  /// Pinned mode: preloaded with full capacity — no evictions ever, policy
-  /// bookkeeping bypassed.
-  bool pinned_ = false;
+  friend class AddressSpace;
 };
 
 }  // namespace cmcp::core

@@ -1,0 +1,286 @@
+#include "core/multi_tenant.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "check/invariant_checkers.h"
+#include "common/assert.h"
+
+namespace cmcp::core {
+
+namespace {
+
+std::uint64_t shared_capacity_for(const MultiTenantConfig& config,
+                                  const std::vector<mm::ComputationArea>& areas) {
+  if (config.capacity_units_override != 0) return config.capacity_units_override;
+  std::uint64_t total_units = 0;
+  for (const mm::ComputationArea& a : areas) total_units += a.num_units();
+  const double frac = std::max(config.memory_fraction, 0.0);
+  const auto cap = static_cast<std::uint64_t>(
+      std::ceil(frac * static_cast<double>(total_units)));
+  return std::max<std::uint64_t>(cap, 1);
+}
+
+}  // namespace
+
+MultiTenantResult run_multi_tenant(const MultiTenantConfig& config,
+                                   const wl::MultiTenantSpec& spec,
+                                   const std::vector<TenantRunConfig>& tenant_configs) {
+  const auto num_tenants = static_cast<Asid>(spec.num_tenants());
+  CMCP_CHECK(num_tenants > 0);
+  CMCP_CHECK_MSG(tenant_configs.size() == num_tenants,
+                 "one TenantRunConfig per tenant, in asid order");
+
+  // --- machine: all tenants' core blocks + one scanner pseudo-core each ----
+  sim::MachineConfig mc = config.machine;
+  mc.num_cores = spec.total_cores();
+  mc.num_address_spaces = num_tenants;
+  sim::Machine machine(mc);
+  for (Asid t = 0; t < num_tenants; ++t) {
+    const wl::TenantPlacement p = spec.placement(t);
+    for (CoreId c = 0; c < p.num_cores; ++c)
+      machine.set_core_space(p.first_core + c, t);
+  }
+
+  // --- address spaces over one shared allocator ----------------------------
+  std::vector<mm::ComputationArea> areas;
+  areas.reserve(num_tenants);
+  for (Asid t = 0; t < num_tenants; ++t) {
+    const wl::TenantPlacement p = spec.placement(t);
+    areas.emplace_back(p.area_base_vpn, p.footprint_base_pages,
+                       mc.page_size);
+  }
+  const std::uint64_t capacity = shared_capacity_for(config, areas);
+
+  std::vector<AddressSpaceSpec> specs;
+  specs.reserve(num_tenants);
+  for (Asid t = 0; t < num_tenants; ++t) {
+    AddressSpaceSpec s;
+    s.area = areas[t];
+    s.config.pt_kind = tenant_configs[t].pt_kind;
+    s.config.policy = tenant_configs[t].policy;
+    s.config.custom_policy = tenant_configs[t].custom_policy;
+    s.config.prefetch_degree = tenant_configs[t].prefetch_degree;
+    s.config.async_writeback = tenant_configs[t].async_writeback;
+    s.config.capacity_units = tenant_configs[t].capacity_units;
+    s.share = tenant_configs[t].share;
+    specs.push_back(std::move(s));
+  }
+  MemoryManager mm(machine, specs, capacity, config.partition);
+
+  if (config.trace != nullptr) {
+    config.trace->set_num_app_cores(machine.num_cores());
+    config.trace->set_num_spaces(num_tenants);
+    machine.set_trace(config.trace);
+  }
+  std::unique_ptr<sim::CheckRegistry> checks;
+#if CMCP_SIMCHECK_ENABLED
+  if (config.simcheck) {
+    checks = std::make_unique<sim::CheckRegistry>();
+    check::register_default_checkers(*checks, mm, machine);
+    checks->set_event_source(config.trace);
+    mm.set_check_registry(checks.get());
+  }
+#endif
+
+  // --- the deterministic interleaving engine -------------------------------
+  // Same structure as core::Simulation::run(), with barriers scoped to each
+  // tenant's core block instead of the whole machine.
+  const CoreId n = machine.num_cores();
+
+  enum class CoreState : std::uint8_t { kRunning, kAtBarrier, kDone };
+  struct PerCore {
+    std::unique_ptr<wl::AccessStream> stream;
+    Asid tenant = 0;
+    Vpn area_base = 0;
+    CoreState state = CoreState::kRunning;
+    wl::Op pending;              ///< in-progress access op
+    std::uint32_t progress = 0;  ///< pages of `pending` already processed
+    bool has_pending = false;
+  };
+  std::vector<PerCore> cores(n);
+  struct TenantGroup {
+    CoreId first_core = 0;
+    CoreId num_cores = 0;
+    CoreId active = 0;      ///< cores not yet done
+    CoreId at_barrier = 0;  ///< cores waiting at the tenant's current barrier
+  };
+  std::vector<TenantGroup> groups(num_tenants);
+  for (Asid t = 0; t < num_tenants; ++t) {
+    const wl::TenantPlacement p = spec.placement(t);
+    groups[t] = {p.first_core, p.num_cores, p.num_cores, 0};
+    for (CoreId c = 0; c < p.num_cores; ++c) {
+      PerCore& pc = cores[p.first_core + c];
+      pc.stream = spec.tenant(t).make_stream(c);
+      pc.tenant = t;
+      pc.area_base = p.area_base_vpn;
+    }
+  }
+
+  // Min-heap of (clock, core) with lazy re-push on stale entries.
+  struct HeapEntry {
+    Cycles time;
+    CoreId core;
+    bool operator>(const HeapEntry& o) const {
+      return time != o.time ? time > o.time : core > o.core;
+    }
+  };
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>> heap;
+  for (CoreId c = 0; c < n; ++c) heap.push({0, c});
+
+  const auto release_barrier_if_complete = [&](Asid tenant) {
+    TenantGroup& g = groups[tenant];
+    if (g.active == 0 || g.at_barrier != g.active) return;
+    Cycles tmax = 0;
+    for (CoreId c = g.first_core; c < g.first_core + g.num_cores; ++c) {
+      if (cores[c].state == CoreState::kAtBarrier)
+        tmax = std::max(tmax, machine.clock(c));
+    }
+    for (CoreId c = g.first_core; c < g.first_core + g.num_cores; ++c) {
+      if (cores[c].state != CoreState::kAtBarrier) continue;
+      machine.counters(c).cycles_barrier += tmax - machine.clock(c);
+      if (sim::trace::EventSink* tr = machine.trace())
+        tr->emit({sim::trace::EventKind::kBarrierWait, c, machine.clock(c),
+                  tmax - machine.clock(c), kInvalidUnit, 0, 0, 0, tenant});
+      machine.set_clock(c, tmax);
+      cores[c].state = CoreState::kRunning;
+      heap.push({tmax, c});
+    }
+    g.at_barrier = 0;
+  };
+
+  while (!heap.empty()) {
+    const auto [time, core] = heap.top();
+    heap.pop();
+    if (cores[core].state != CoreState::kRunning) continue;
+    const Cycles actual = machine.clock(core);
+    if (actual != time) {
+      // Clock advanced (shootdown interrupts) since this entry was pushed.
+      heap.push({actual, core});
+      continue;
+    }
+
+    mm.run_periodic(actual);
+
+    PerCore& pc = cores[core];
+    // One page of an in-progress access op per engine event: shared
+    // resources (PCIe link, invalidation slot, page-table locks) are
+    // then updated in near-global time order, so queueing is resolved
+    // at page granularity.
+    if (pc.has_pending) {
+      const wl::Op& op = pc.pending;
+      const Vpn vpn =
+          pc.area_base + op.vpn + static_cast<Vpn>(pc.progress) * op.stride;
+      for (std::uint16_t r = 0; r < op.repeat; ++r) {
+        const Cycles now = machine.clock(core);
+        machine.advance(core, mm.access(core, vpn, op.write, now));
+      }
+      if (op.cycles > 0) {
+        machine.counters(core).cycles_compute += op.cycles;
+        machine.advance(core, op.cycles);
+      }
+      if (++pc.progress >= op.count) pc.has_pending = false;
+      heap.push({machine.clock(core), core});
+      continue;
+    }
+
+    const wl::Op op = pc.stream->next();
+    switch (op.kind) {
+      case wl::OpKind::kAccess: {
+        CMCP_CHECK(op.count > 0);
+        pc.pending = op;
+        pc.progress = 0;
+        pc.has_pending = true;
+        heap.push({machine.clock(core), core});
+        break;
+      }
+      case wl::OpKind::kCompute: {
+        machine.counters(core).cycles_compute += op.cycles;
+        machine.advance(core, op.cycles);
+        heap.push({machine.clock(core), core});
+        break;
+      }
+      case wl::OpKind::kSyscall: {
+        // IHK offload round trip over the SHARED PCIe link — a syscall-heavy
+        // tenant queues behind (and delays) its neighbors' page traffic.
+        const sim::CostModel& cost = machine.cost();
+        metrics::CoreCounters& ctr = machine.counters(core);
+        const Cycles start = machine.clock(core) + cost.syscall_local;
+        Cycles queue_wait = 0;
+        const Cycles req_done = machine.pcie().transfer(
+            sim::PcieDir::kDeviceToHost, start,
+            cost.syscall_message_bytes + op.count, &queue_wait);
+        if (sim::trace::EventSink* tr = machine.trace())
+          tr->emit({sim::trace::EventKind::kPcieTransfer, core, start,
+                    req_done - start, kInvalidUnit, 1,
+                    cost.syscall_message_bytes + op.count, queue_wait,
+                    pc.tenant});
+        const Cycles host_done = req_done + cost.syscall_host_dispatch + op.cycles;
+        const Cycles resp_done = machine.pcie().transfer(
+            sim::PcieDir::kHostToDevice, host_done, cost.syscall_message_bytes,
+            &queue_wait);
+        if (sim::trace::EventSink* tr = machine.trace())
+          tr->emit({sim::trace::EventKind::kPcieTransfer, core, host_done,
+                    resp_done - host_done, kInvalidUnit, 0,
+                    cost.syscall_message_bytes, queue_wait, pc.tenant});
+        ++ctr.syscalls;
+        ctr.cycles_syscall += resp_done - machine.clock(core);
+        machine.set_clock(core, resp_done);
+        heap.push({machine.clock(core), core});
+        break;
+      }
+      case wl::OpKind::kBarrier: {
+        pc.state = CoreState::kAtBarrier;
+        ++groups[pc.tenant].at_barrier;
+        release_barrier_if_complete(pc.tenant);
+        break;
+      }
+      case wl::OpKind::kEnd: {
+        pc.state = CoreState::kDone;
+        --groups[pc.tenant].active;
+        // A barrier pending among the tenant's remaining cores may now be
+        // complete.
+        release_barrier_if_complete(pc.tenant);
+        break;
+      }
+    }
+  }
+  for (Asid t = 0; t < num_tenants; ++t)
+    CMCP_CHECK_MSG(groups[t].active == 0 && groups[t].at_barrier == 0,
+                   "engine deadlock: cores stuck at a tenant barrier");
+  if (checks != nullptr) checks->run_now(sim::CheckPoint::kEndOfRun);
+
+  // --- collect -------------------------------------------------------------
+  MultiTenantResult result;
+  result.shared_capacity_units = capacity;
+  result.partition_kind = std::string(mm::to_string(config.partition));
+  result.interference = mm.interference();
+  result.tenants.resize(num_tenants);
+  for (Asid t = 0; t < num_tenants; ++t) {
+    const TenantGroup& g = groups[t];
+    TenantResult& tr = result.tenants[t];
+    const AddressSpace& space = mm.space(t);
+    tr.workload_name = std::string(spec.tenant(t).name());
+    tr.policy_name = std::string(space.policy().name());
+    tr.first_core = g.first_core;
+    tr.num_cores = g.num_cores;
+    for (CoreId c = g.first_core; c < g.first_core + g.num_cores; ++c) {
+      tr.makespan = std::max(tr.makespan, machine.clock(c));
+      tr.total += machine.counters(c);
+    }
+    tr.scanner = machine.counters(machine.scanner_core(t));
+    space.policy().stats([&](std::string_view name, std::uint64_t value) {
+      tr.policy_stats.emplace_back(std::string(name), value);
+    });
+    tr.footprint_units = space.area().num_units();
+    tr.capacity_target_units = mm.partition().target_of(t);
+    tr.reserve_units = mm.partition().reserve_of(t);
+    tr.resident_units_end = mm.allocator().in_use_by(t);
+    tr.scans = space.scans_completed();
+    result.makespan = std::max(result.makespan, tr.makespan);
+  }
+  return result;
+}
+
+}  // namespace cmcp::core

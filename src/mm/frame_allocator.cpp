@@ -11,15 +11,19 @@ FrameAllocator::FrameAllocator(std::uint64_t capacity, PageSizeClass size)
   // LIFO free list; hand out ascending frame numbers first.
   for (std::uint64_t i = capacity; i-- > 0;) free_.push_back(i * frames_per_unit_);
   allocated_.assign(capacity, 0);
+  owners_.assign(capacity, kInvalidAsid);
 }
 
-Pfn FrameAllocator::allocate() {
+Pfn FrameAllocator::allocate(Asid owner) {
   if (free_.empty()) return kInvalidPfn;
   const Pfn pfn = free_.back();
   free_.pop_back();
   const auto slot = pfn / frames_per_unit_;
   CMCP_CHECK(allocated_[slot] == 0);
   allocated_[slot] = 1;
+  owners_[slot] = owner;
+  if (owner >= in_use_by_.size()) in_use_by_.resize(owner + 1, 0);
+  ++in_use_by_[owner];
   return pfn;
 }
 
@@ -29,7 +33,29 @@ void FrameAllocator::free(Pfn pfn) {
   CMCP_CHECK(slot < capacity_);
   CMCP_CHECK_MSG(allocated_[slot] != 0, "double free of device frame");
   allocated_[slot] = 0;
+  const Asid owner = owners_[slot];
+  CMCP_CHECK(owner < in_use_by_.size() && in_use_by_[owner] > 0);
+  --in_use_by_[owner];
+  owners_[slot] = kInvalidAsid;
   free_.push_back(pfn);
+}
+
+Asid FrameAllocator::owner_of(Pfn pfn) const {
+  CMCP_CHECK(pfn % frames_per_unit_ == 0);
+  const auto slot = pfn / frames_per_unit_;
+  CMCP_CHECK(slot < capacity_);
+  return allocated_[slot] ? owners_[slot] : kInvalidAsid;
+}
+
+std::uint64_t FrameAllocator::release_all(Asid owner) {
+  std::uint64_t reclaimed = 0;
+  for (std::uint64_t slot = 0; slot < capacity_; ++slot) {
+    if (allocated_[slot] != 0 && owners_[slot] == owner) {
+      free(slot * frames_per_unit_);
+      ++reclaimed;
+    }
+  }
+  return reclaimed;
 }
 
 }  // namespace cmcp::mm

@@ -4,6 +4,12 @@
 // is created with `capacity` frames of one mapping unit each — e.g. 37% of
 // cg.B's footprint — and the host side is treated as an infinite backing
 // store reached over PCIe.
+//
+// Multi-tenant runs share one allocator between address spaces: every
+// allocation is tagged with the owning asid so partition policies and the
+// frame-ownership invariant checker can account per-tenant usage. Single
+// tenant callers use the default owner (asid 0) and see exactly the
+// pre-refactor behavior.
 #pragma once
 
 #include <cstdint>
@@ -20,14 +26,27 @@ class FrameAllocator {
   FrameAllocator(std::uint64_t capacity, PageSizeClass size);
 
   /// Returns kInvalidPfn when the device memory is exhausted (the caller
-  /// must evict first).
-  Pfn allocate();
+  /// must evict first). The frame is charged to `owner`.
+  Pfn allocate(Asid owner = 0);
 
   void free(Pfn pfn);
 
   std::uint64_t capacity() const { return capacity_; }
   std::uint64_t in_use() const { return capacity_ - free_.size(); }
+  std::uint64_t free_count() const { return free_.size(); }
   bool full() const { return free_.empty(); }
+
+  /// Frames currently charged to `owner`. Cheap: a counter, not a scan.
+  std::uint64_t in_use_by(Asid owner) const {
+    return owner < in_use_by_.size() ? in_use_by_[owner] : 0;
+  }
+
+  /// Owner of an allocated frame; kInvalidAsid when the frame is free.
+  Asid owner_of(Pfn pfn) const;
+
+  /// Frees every frame still charged to `owner` (tenant exit). Returns the
+  /// number of frames reclaimed.
+  std::uint64_t release_all(Asid owner);
 
  private:
   std::uint64_t capacity_;
@@ -38,6 +57,10 @@ class FrameAllocator {
   /// storage, not vector<bool>: the proxy-reference bit masking costs more
   /// than the byte it saves on a structure this small.
   std::vector<std::uint8_t> allocated_;
+  /// Owner asid per frame slot; only meaningful where allocated_[slot] != 0.
+  std::vector<Asid> owners_;
+  /// Per-asid allocated-frame counts, grown on demand.
+  std::vector<std::uint64_t> in_use_by_;
 };
 
 }  // namespace cmcp::mm

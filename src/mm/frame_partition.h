@@ -1,0 +1,84 @@
+// Frame-partitioning / QoS policies for multi-tenant runs.
+//
+// When several address spaces contend for one FrameAllocator the coordinator
+// asks this policy two questions on every capacity miss:
+//
+//   1. may_allocate(asid): may this tenant take a free frame right now?
+//      (A static reserve can say "no" even when free frames exist, because
+//      they are earmarked for tenants still under their floor.)
+//   2. choose_victim_space(asid): when no frame may be taken, which address
+//      space must evict one of its own resident units?
+//
+// PartitionKind::kNone reduces exactly to the pre-refactor single-tenant
+// behavior: allocate while frames remain, evict from yourself when full.
+// All tie-breaks are deterministic (lowest asid) so multi-tenant runs stay
+// bit-reproducible.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "common/types.h"
+#include "mm/frame_allocator.h"
+
+namespace cmcp::mm {
+
+enum class PartitionKind : std::uint8_t {
+  kNone = 0,              ///< free-for-all; each tenant evicts from itself
+  kStaticReserve = 1,     ///< per-tenant guaranteed floors (coremap-style split)
+  kProportionalShare = 2, ///< weighted targets; evict the noisiest neighbor
+};
+
+constexpr std::string_view to_string(PartitionKind k) {
+  switch (k) {
+    case PartitionKind::kNone: return "none";
+    case PartitionKind::kStaticReserve: return "static-reserve";
+    case PartitionKind::kProportionalShare: return "proportional-share";
+  }
+  return "?";
+}
+
+/// Per-tenant QoS parameters. `reserve_units` is the guaranteed floor under
+/// kStaticReserve; `weight` drives kProportionalShare targets.
+struct TenantShare {
+  std::uint64_t reserve_units = 0;
+  std::uint64_t weight = 1;
+};
+
+class FramePartition {
+ public:
+  FramePartition() = default;
+
+  /// `shares[i]` parameterizes asid i. Floors are clamped so their sum never
+  /// exceeds the allocator capacity (excess is trimmed from the highest
+  /// asids, deterministically).
+  FramePartition(PartitionKind kind, std::uint64_t capacity,
+                 std::vector<TenantShare> shares);
+
+  PartitionKind kind() const { return kind_; }
+  std::uint64_t num_tenants() const { return shares_.size(); }
+
+  /// Guaranteed floor for `asid` (0 unless kStaticReserve).
+  std::uint64_t reserve_of(Asid asid) const;
+
+  /// Proportional-share target for `asid` (largest-remainder apportionment
+  /// of the capacity by weight; equals capacity for single tenant / kNone).
+  std::uint64_t target_of(Asid asid) const;
+
+  /// Whether `asid` may take a free frame from `alloc` right now.
+  bool may_allocate(Asid asid, const FrameAllocator& alloc) const;
+
+  /// Which address space must evict so `asid` can make progress. Always
+  /// returns a space with at least one resident frame; returns `asid` itself
+  /// under kNone and whenever no better-loaded neighbor exists.
+  Asid choose_victim_space(Asid asid, const FrameAllocator& alloc) const;
+
+ private:
+  PartitionKind kind_ = PartitionKind::kNone;
+  std::uint64_t capacity_ = 0;
+  std::vector<TenantShare> shares_;
+  std::vector<std::uint64_t> targets_;  ///< precomputed proportional targets
+};
+
+}  // namespace cmcp::mm

@@ -31,6 +31,11 @@ class PolicyHost {
 
   virtual unsigned num_cores() const = 0;
 
+  /// Tenant identity of the address space this policy instance serves.
+  /// Single-tenant hosts keep the default asid 0; policies may use it to
+  /// label statistics or trace output but never see other spaces' pages.
+  virtual Asid asid() const { return 0; }
+
   /// Read the accessed bit (any mapping core / any sub-entry) WITHOUT
   /// clearing it. Cheap: no shootdown.
   virtual bool unit_accessed(const mm::ResidentPage& page) const = 0;
@@ -95,20 +100,6 @@ class ReplacementPolicy {
   /// SimCheck's policy-accounting invariant compares this against the page
   /// registry's resident-set size; every built-in policy reports it.
   virtual std::int64_t tracked_pages() const { return -1; }
-
-  /// Single-key lookup shim over stats(). Unknown keys return 0; duplicate
-  /// names (wrapper policies) resolve to the last emitted value.
-  [[deprecated(
-      "single-key probes hide typos and cost a full stats() enumeration per "
-      "lookup; visit stats(visitor) once instead (see "
-      "docs/writing-policies.md)")]]
-  std::uint64_t stat(std::string_view key) const {
-    std::uint64_t out = 0;
-    stats([&](std::string_view name, std::uint64_t value) {
-      if (name == key) out = value;
-    });
-    return out;
-  }
 };
 
 }  // namespace cmcp::policy

@@ -9,13 +9,19 @@ namespace cmcp::sim {
 Machine::Machine(const MachineConfig& config)
     : config_(config), pcie_(config_.cost), interconnect_(config_.cost) {
   CMCP_CHECK(config_.num_cores > 0);
-  CMCP_CHECK(config_.num_cores < CoreMask::kMaxCores);
+  CMCP_CHECK(config_.num_address_spaces > 0);
+  CMCP_CHECK(config_.num_cores + config_.num_address_spaces - 1 <
+             CoreMask::kMaxCores);
   const std::uint32_t tlb_entries = config_.tlb.entries_for(config_.page_size);
-  const CoreId total = config_.num_cores + 1;  // +1 scanner pseudo-core
+  // One scanner pseudo-core per address space (id == num_cores + asid).
+  const CoreId total = config_.num_cores + config_.num_address_spaces;
   clocks_.assign(total, 0);
   counters_.assign(total, metrics::CoreCounters{});
   tlbs_.reserve(total);
   for (CoreId i = 0; i < total; ++i) tlbs_.emplace_back(tlb_entries);
+  core_space_.assign(total, 0);
+  for (unsigned s = 0; s < config_.num_address_spaces; ++s)
+    core_space_[config_.num_cores + s] = s;
 }
 
 Cycles Machine::shootdown(CoreId initiator, Cycles now, const CoreMask& targets,
@@ -42,11 +48,11 @@ Cycles Machine::shootdown(CoreId initiator, Cycles now, const CoreMask& targets,
   if (trace_ != nullptr) {
     trace_->emit({trace::EventKind::kShootdown, initiator, now,
                   t.initiator_total(), units[0], num_targets, units.size(),
-                  t.lock_wait});
+                  t.lock_wait, space_of_targets(targets)});
     const Cycles acquired = now + t.lock_wait;
     trace_->emit({trace::EventKind::kSlotHold, initiator, acquired,
                   interconnect_.slot_busy_until() - acquired, units[0],
-                  num_targets, 0, 0});
+                  num_targets, 0, 0, core_space_[initiator]});
   }
 
   targets.for_each([&](CoreId target) {
@@ -81,7 +87,8 @@ Cycles Machine::hw_invalidate(CoreId initiator, Cycles now,
   init_ctr.cycles_shootdown += cycles;
   if (trace_ != nullptr)
     trace_->emit({trace::EventKind::kShootdown, initiator, now, cycles,
-                  units[0], targets.count(), units.size(), 0});
+                  units[0], targets.count(), units.size(), 0,
+                  space_of_targets(targets)});
   return cycles;
 }
 
@@ -117,7 +124,7 @@ Cycles Machine::shootdown_batch(CoreId initiator, Cycles now,
     const Cycles acquired = now + t.lock_wait;
     trace_->emit({trace::EventKind::kSlotHold, initiator, acquired,
                   interconnect_.slot_busy_until() - acquired, kInvalidUnit,
-                  num_targets, 0, 0});
+                  num_targets, 0, 0, core_space_[initiator]});
   }
 
   Cycles slowest_receiver = 0;
@@ -142,7 +149,8 @@ Cycles Machine::shootdown_batch(CoreId initiator, Cycles now,
   init_ctr.cycles_shootdown += t.initiate + slowest_receiver;
   if (trace_ != nullptr)
     trace_->emit({trace::EventKind::kShootdown, initiator, now, initiator_cost,
-                  kInvalidUnit, num_targets, items.size(), t.lock_wait});
+                  kInvalidUnit, num_targets, items.size(), t.lock_wait,
+                  space_of_targets(union_targets)});
   return initiator_cost;
 }
 

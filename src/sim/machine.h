@@ -41,6 +41,10 @@ struct MachineConfig {
   TlbCoherence tlb_coherence = TlbCoherence::kIpiShootdown;
   TlbConfig tlb;
   CostModel cost = CostModel::knc();
+  /// Address spaces sharing the machine. Each space owns one scanner
+  /// pseudo-core (id == num_cores + asid); the default of 1 is the paper's
+  /// single-tenant machine with its lone scanner at id == num_cores.
+  unsigned num_address_spaces = 1;
 };
 
 class Machine {
@@ -51,8 +55,22 @@ class Machine {
   const CostModel& cost() const { return config_.cost; }
   CoreId num_cores() const { return config_.num_cores; }
 
-  /// Pseudo-core used by the access-bit scanner daemon.
-  CoreId scanner_core() const { return config_.num_cores; }
+  /// Pseudo-core used by the access-bit scanner daemon of address space
+  /// `asid` (one dedicated hyperthread per tenant).
+  CoreId scanner_core(Asid asid = 0) const { return config_.num_cores + asid; }
+
+  unsigned num_address_spaces() const { return config_.num_address_spaces; }
+
+  /// App cores plus every scanner pseudo-core (valid core ids are
+  /// [0, total_cores())).
+  CoreId total_cores() const {
+    return config_.num_cores + config_.num_address_spaces;
+  }
+
+  /// Which address space a core (app or scanner pseudo-core) belongs to.
+  /// All-zero until set_core_space() assigns tenant core sets.
+  Asid space_of_core(CoreId core) const { return core_space_[core]; }
+  void set_core_space(CoreId core, Asid asid) { core_space_[core] = asid; }
 
   Cycles clock(CoreId core) const { return clocks_[core]; }
   void advance(CoreId core, Cycles amount) { clocks_[core] += amount; }
@@ -101,6 +119,20 @@ class Machine {
   metrics::CoreCounters aggregate_app_counters() const;
 
  private:
+  /// Space owning the cores in `targets` (the shot-down unit's space: only
+  /// its own cores can map it). Falls back to 0 for an empty mask.
+  Asid space_of_targets(const CoreMask& targets) const {
+    Asid out = 0;
+    bool found = false;
+    targets.for_each([&](CoreId t) {
+      if (!found) {
+        out = core_space_[t];
+        found = true;
+      }
+    });
+    return out;
+  }
+
   /// Directed invalidation via the hypothetical TLB directory hardware.
   Cycles hw_invalidate(CoreId initiator, Cycles now, const CoreMask& targets,
                        std::span<const UnitIdx> units)
@@ -116,6 +148,9 @@ class Machine {
   std::vector<Cycles> clocks_;
   std::vector<Tlb> tlbs_;
   std::vector<metrics::CoreCounters> counters_;
+  /// Core -> owning address space, for tagging machine-level trace events.
+  /// Written during setup, read-only while the engine runs.
+  std::vector<Asid> core_space_;
   PcieLink pcie_;  ///< internally synchronized (see pcie_link.h)
   mutable common::Mutex shootdown_mu_;
   Interconnect interconnect_ CMCP_GUARDED_BY(shootdown_mu_);

@@ -57,14 +57,20 @@ unsigned track_of(const EventSink& sink, const Event& event) {
 
 std::string track_name(const EventSink& sink, unsigned track) {
   if (track < sink.num_app_cores()) return "core " + std::to_string(track);
-  if (track == sink.scanner_track()) return "scanner";
+  if (track >= sink.scanner_track(0) &&
+      track < sink.scanner_track(0) + sink.num_spaces()) {
+    // One scanner pseudo-core per address space; the single-tenant name is
+    // unchanged so schema-1 traces stay byte-identical.
+    if (sink.num_spaces() == 1) return "scanner";
+    return "scanner asid " + std::to_string(track - sink.scanner_track(0));
+  }
   if (track == sink.pcie_h2d_track()) return "pcie host->device";
   if (track == sink.pcie_d2h_track()) return "pcie device->host";
   if (track == sink.slot_track()) return "invalidation slot";
   return "track " + std::to_string(track);
 }
 
-void append_args(std::string& out, const Event& event) {
+void append_args(std::string& out, const Event& event, bool include_asid) {
   const auto names = arg_names(event.kind);
   const std::uint64_t values[3] = {event.a, event.b, event.c};
   out += '{';
@@ -82,7 +88,14 @@ void append_args(std::string& out, const Event& event) {
   // kSlotHold/kPcieTransfer render off their home core; keep it recoverable.
   if (event.kind == EventKind::kPcieTransfer || event.kind == EventKind::kSlotHold) {
     if (!first) out += ',';
+    first = false;
     out += "\"core\":" + std::to_string(event.core);
+  }
+  // Tenant identity, serialized only for multi-tenant sinks so single-tenant
+  // traces remain byte-identical to schema 1.
+  if (include_asid) {
+    if (!first) out += ',';
+    out += "\"asid\":" + std::to_string(event.asid);
   }
   out += '}';
 }
@@ -158,7 +171,8 @@ void export_perfetto(const EventSink& sink, const Metadata& meta,
   buffer.reserve(kExportFlushBytes + (1u << 10));
   buffer += "{\"traceEvents\":[\n";
   // Thread-name metadata records: one per track, in track order.
-  const unsigned tracks = sink.num_app_cores() + 4;
+  const unsigned tracks = sink.num_app_cores() + sink.num_spaces() + 3;
+  const bool multi = sink.num_spaces() > 1;
   for (unsigned t = 0; t < tracks; ++t) {
     buffer += "{\"ph\":\"M\",\"pid\":1,\"tid\":" + std::to_string(t) +
               ",\"name\":\"thread_name\",\"args\":{\"name\":" +
@@ -173,7 +187,7 @@ void export_perfetto(const EventSink& sink, const Metadata& meta,
               json_quote(to_string(e.kind)) + ",\"ts\":" +
               std::to_string(e.start) + ",\"dur\":" +
               std::to_string(e.duration) + ",\"args\":";
-    append_args(buffer, e);
+    append_args(buffer, e, multi);
     buffer += '}';
     if (i + 1 != events.size()) buffer += ',';
     buffer += '\n';
@@ -192,9 +206,14 @@ void export_jsonl(const EventSink& sink, const Metadata& meta,
                   const Summary& summary, std::ostream& os) {
   std::string buffer;
   buffer.reserve(kExportFlushBytes + (1u << 10));
+  const bool multi = sink.num_spaces() > 1;
   buffer +=
       "{\"type\":\"meta\",\"schema\":1,\"clock_unit\":\"cycles\",\"cores\":" +
-      std::to_string(sink.num_app_cores()) + ",\"config\":{";
+      std::to_string(sink.num_app_cores());
+  // Multi-tenant traces declare the space count; single-tenant meta lines
+  // keep the exact schema-1 bytes.
+  if (multi) buffer += ",\"spaces\":" + std::to_string(sink.num_spaces());
+  buffer += ",\"config\":{";
   bool first = true;
   for (const auto& [key, value] : meta) {
     if (!first) buffer += ',';
@@ -210,7 +229,7 @@ void export_jsonl(const EventSink& sink, const Metadata& meta,
               ",\"core\":" + std::to_string(e.core) +
               ",\"ts\":" + std::to_string(e.start) +
               ",\"dur\":" + std::to_string(e.duration) + ",\"args\":";
-    append_args(buffer, e);
+    append_args(buffer, e, multi);
     buffer += "}\n";
     flush_if_full(buffer, os);
   }

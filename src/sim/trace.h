@@ -55,7 +55,11 @@ std::array<std::string_view, 3> arg_names(EventKind kind);
 /// One timed event. `start` and `duration` are virtual cycles; `core` is the
 /// emitting core (the scanner pseudo-core for scan passes). `unit` is the
 /// mapping unit involved or kInvalidUnit. The a/b/c payload fields are
-/// kind-specific — see arg_names() and docs/observability.md.
+/// kind-specific — see arg_names() and docs/observability.md. `asid` is the
+/// address space the event belongs to; it stays 0 (and is never serialized)
+/// in single-tenant runs, so their traces are byte-identical to schema 1.
+/// It is deliberately the LAST member: existing positional brace-inits keep
+/// compiling and default it to 0.
 struct Event {
   EventKind kind;
   CoreId core;
@@ -65,6 +69,7 @@ struct Event {
   std::uint64_t a = 0;
   std::uint64_t b = 0;
   std::uint64_t c = 0;
+  Asid asid = 0;
 };
 
 /// Flat, append-only event buffer. A null `EventSink*` is the disabled
@@ -110,11 +115,19 @@ class EventSink {
   void set_num_app_cores(unsigned n) { num_app_cores_ = n; }
   unsigned num_app_cores() const { return num_app_cores_; }
 
-  // Track ids used by the exporters.
-  unsigned scanner_track() const { return num_app_cores_; }
-  unsigned pcie_h2d_track() const { return num_app_cores_ + 1; }
-  unsigned pcie_d2h_track() const { return num_app_cores_ + 2; }
-  unsigned slot_track() const { return num_app_cores_ + 3; }
+  /// Number of address spaces sharing the machine. Each space owns one
+  /// scanner pseudo-core (id == num_app_cores + asid), so the scanner-track
+  /// block widens with it. Defaults to 1 — the single-tenant layout, whose
+  /// serialized form is unchanged from schema 1.
+  void set_num_spaces(unsigned n) { num_spaces_ = n == 0 ? 1 : n; }
+  unsigned num_spaces() const { return num_spaces_; }
+
+  // Track ids used by the exporters. Scanner tracks occupy
+  // [num_app_cores, num_app_cores + num_spaces); PCIe/slot tracks follow.
+  unsigned scanner_track(unsigned asid = 0) const { return num_app_cores_ + asid; }
+  unsigned pcie_h2d_track() const { return num_app_cores_ + num_spaces_ + 0; }
+  unsigned pcie_d2h_track() const { return num_app_cores_ + num_spaces_ + 1; }
+  unsigned slot_track() const { return num_app_cores_ + num_spaces_ + 2; }
 
  private:
   static constexpr std::size_t kInitialCapacity = 4096;
@@ -122,6 +135,7 @@ class EventSink {
   std::vector<Event> events_ CMCP_GUARDED_BY(mu_);
   /// Set once when the sink is attached, before any emitter runs.
   unsigned num_app_cores_ = 0;
+  unsigned num_spaces_ = 1;
 };
 
 /// Trace/metadata header entries: ordered (name, value) string pairs

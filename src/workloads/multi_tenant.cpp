@@ -1,0 +1,59 @@
+#include "workloads/multi_tenant.h"
+
+#include "common/assert.h"
+
+namespace cmcp::wl {
+
+namespace {
+
+/// 2 MB units are 512 base pages; aligning every tenant's base to that keeps
+/// all page-size classes valid regardless of the machine configuration.
+constexpr Vpn kAreaAlign = 512;
+
+Vpn align_up(Vpn v) { return (v + kAreaAlign - 1) & ~(kAreaAlign - 1); }
+
+}  // namespace
+
+Asid MultiTenantSpec::add(std::unique_ptr<Workload> workload) {
+  CMCP_CHECK(workload != nullptr);
+  CMCP_CHECK(workload->num_cores() > 0);
+  tenants_.push_back(std::move(workload));
+  return static_cast<Asid>(tenants_.size() - 1);
+}
+
+CoreId MultiTenantSpec::total_cores() const {
+  CoreId total = 0;
+  for (const auto& t : tenants_) total += t->num_cores();
+  return total;
+}
+
+std::uint64_t MultiTenantSpec::total_footprint_base_pages() const {
+  std::uint64_t total = 0;
+  for (const auto& t : tenants_) total += t->footprint_base_pages();
+  return total;
+}
+
+TenantPlacement MultiTenantSpec::placement(Asid asid) const {
+  CMCP_CHECK(asid < tenants_.size());
+  TenantPlacement p;
+  Vpn base = 0;
+  for (Asid i = 0; i <= asid; ++i) {
+    p.first_core += i == 0 ? 0 : tenants_[i - 1]->num_cores();
+    p.area_base_vpn = base;
+    base = align_up(base + tenants_[i]->footprint_base_pages());
+  }
+  p.num_cores = tenants_[asid]->num_cores();
+  p.footprint_base_pages = tenants_[asid]->footprint_base_pages();
+  return p;
+}
+
+std::string MultiTenantSpec::name() const {
+  std::string out;
+  for (const auto& t : tenants_) {
+    if (!out.empty()) out += '+';
+    out += t->name();
+  }
+  return out;
+}
+
+}  // namespace cmcp::wl

@@ -247,13 +247,13 @@ TEST(SimCheck, ClockCheckerCatchesRegression) {
   EXPECT_EQ(captured[0].core, 0u);
 }
 
-TEST(SimCheck, DefaultSuiteRegistersFiveCheckers) {
+TEST(SimCheck, DefaultSuiteRegistersSixCheckers) {
   ScriptedWorkload w(1, 4, {{wl::Op::access(0, false, 4)}});
   core::SimulationConfig config;
   config.machine.num_cores = 1;
   core::Simulation sim(config, w);
   ASSERT_NE(sim.check_registry(), nullptr);
-  EXPECT_EQ(sim.check_registry()->num_checkers(), 5u);
+  EXPECT_EQ(sim.check_registry()->num_checkers(), 6u);
 }
 
 #endif  // CMCP_SIMCHECK_ENABLED

@@ -11,8 +11,11 @@
 #include <string>
 #include <vector>
 
+#include "core/multi_tenant.h"
 #include "core/simulation.h"
+#include "mm/frame_partition.h"
 #include "sim/trace.h"
+#include "workloads/multi_tenant.h"
 #include "workloads/synthetic.h"
 
 #ifndef CMCP_TEST_DATA_DIR
@@ -240,6 +243,107 @@ TEST(TraceLint, MissingFileIsIoError) {
   const LintResult result = lint_trace_file("/nonexistent/trace.jsonl");
   ASSERT_EQ(result.issues.size(), 1u);
   EXPECT_EQ(result.issues[0].rule, "io-error");
+}
+
+// --- multi-tenant traces ----------------------------------------------------
+
+/// Two scripted 2-core tenants contending under proportional share; returns
+/// the JSONL trace (meta declares "spaces":2, every event carries an asid).
+std::string traced_multi_run() {
+  sim::trace::EventSink sink;
+  std::vector<wl::Op> script = {wl::Op::access(0, true, 24),
+                                wl::Op::barrier(),
+                                wl::Op::access(0, false, 24)};
+  wl::MultiTenantSpec spec;
+  spec.add(std::make_unique<ScriptedWorkload>(
+      2, 24, std::vector<std::vector<wl::Op>>{script, script}));
+  spec.add(std::make_unique<ScriptedWorkload>(
+      2, 24, std::vector<std::vector<wl::Op>>{script, script}));
+  core::MultiTenantConfig config;
+  config.partition = mm::PartitionKind::kProportionalShare;
+  config.memory_fraction = 0.5;
+  config.trace = &sink;
+  std::vector<core::TenantRunConfig> tenants(2);
+  tenants[0].policy.kind = PolicyKind::kCmcp;
+  tenants[1].policy.kind = PolicyKind::kCmcp;
+  const auto result = core::run_multi_tenant(config, spec, tenants);
+  std::ostringstream os;
+  sim::trace::export_jsonl(sink, {{"mode", "multi-tenant"}},
+                           {{"makespan", result.makespan}}, os);
+  return os.str();
+}
+
+TEST(TraceLint, CleanMultiTenantTraceLintsClean) {
+  // End-to-end: the asid-tagging convention of the whole fault/eviction/
+  // shootdown pipeline must form a legal history under (asid, unit) keying —
+  // including cross-space QoS evictions, where the initiating core belongs
+  // to one space and the victim unit to another.
+  const std::string text = traced_multi_run();
+  EXPECT_NE(text.find("\"spaces\":2"), std::string::npos);
+  EXPECT_NE(text.find("\"asid\":1"), std::string::npos);
+  const LintResult result = lint_string(text);
+  EXPECT_TRUE(result.ok()) << result.issues.size() << " issues, first: "
+                           << (result.ok() ? std::string()
+                                           : result.issues[0].rule + ": " +
+                                                 result.issues[0].message);
+  EXPECT_GT(result.events, 0u);
+}
+
+TEST(TraceLint, StrippedEvictionAsidIsCaught) {
+  std::string text = traced_multi_run();
+  std::string eviction = first_line(text, "\"kind\":\"eviction\"");
+  ASSERT_FALSE(eviction.empty());
+  std::string stripped = eviction;
+  const std::size_t pos = stripped.find(",\"asid\":");
+  ASSERT_NE(pos, std::string::npos);
+  const std::size_t end = stripped.find('}', pos);
+  stripped.erase(pos, end - pos);
+  text.replace(text.find(eviction), eviction.size(), stripped);
+  EXPECT_TRUE(
+      contains(rules_of(lint_string(text)), "eviction-missing-asid"));
+}
+
+TEST(TraceLint, CrossAsidFillIsCaught) {
+  std::string text = traced_multi_run();
+  // Claim a tenant-1 fault belongs to tenant 0: the core's space binding
+  // (learned from its first fault) no longer matches.
+  const std::string fault =
+      first_line(text, {"\"kind\":\"minor_fault\"", "\"asid\":1"});
+  ASSERT_FALSE(fault.empty());
+  std::string flipped = fault;
+  flipped.replace(flipped.find("\"asid\":1"), 8, "\"asid\":0");
+  text.replace(text.find(fault), fault.size(), flipped);
+  EXPECT_TRUE(contains(rules_of(lint_string(text)), "cross-asid-fill"));
+}
+
+TEST(TraceLint, OutOfRangeAsidIsCaught) {
+  std::string text = traced_multi_run();
+  const std::string fault =
+      first_line(text, {"\"kind\":\"major_fault\"", "\"asid\":0"});
+  ASSERT_FALSE(fault.empty());
+  std::string flipped = fault;
+  flipped.replace(flipped.find("\"asid\":0"), 8, "\"asid\":7");
+  text.replace(text.find(fault), fault.size(), flipped);
+  EXPECT_TRUE(contains(rules_of(lint_string(text)), "asid-out-of-range"));
+}
+
+TEST(TraceLint, SingleTenantTraceCarriesNoAsid) {
+  // The single-tenant exporter must stay byte-compatible with schema 1:
+  // no "spaces" in the meta, no asid on any event.
+  const std::string text = traced_run(PolicyKind::kCmcp, 0.5);
+  EXPECT_EQ(text.find("\"spaces\":"), std::string::npos);
+  EXPECT_EQ(text.find("\"asid\":"), std::string::npos);
+}
+
+TEST(TraceLint, CheckedInCorruptMultiTenantFixtureFails) {
+  const LintResult result = lint_trace_file(
+      std::string(CMCP_TEST_DATA_DIR) + "/corrupt_multi_tenant_trace.jsonl");
+  ASSERT_FALSE(result.ok());
+  const auto rules = rules_of(result);
+  EXPECT_TRUE(contains(rules, "eviction-missing-asid"));
+  EXPECT_TRUE(contains(rules, "cross-asid-fill"));
+  EXPECT_TRUE(contains(rules, "asid-out-of-range"));
+  for (const LintIssue& issue : result.issues) EXPECT_GT(issue.line, 0u);
 }
 
 }  // namespace

@@ -73,8 +73,7 @@ std::uint64_t run_trace(policy::ReplacementPolicy& policy, PageFactory& pages,
                         std::uint64_t capacity);
 
 /// Single-stat probe for test assertions, built on the stats() visitor
-/// (the supported enumeration API — ReplacementPolicy::stat() is
-/// deprecated). Unknown keys return 0 like the shim did.
+/// (the supported enumeration API). Unknown keys return 0.
 inline std::uint64_t stat_of(const policy::ReplacementPolicy& policy,
                              std::string_view key) {
   std::uint64_t out = 0;
