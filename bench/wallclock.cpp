@@ -36,6 +36,8 @@
 #include "mm/page_registry.h"
 #include "mm/pspt.h"
 #include "policy/fifo.h"
+#include "sim/fault_plan.h"
+#include "sim/pcie_link.h"
 #include "sim/tlb.h"
 #include "workloads/multi_tenant.h"
 
@@ -240,6 +242,39 @@ PhaseResult micro_scan_sweep(std::uint64_t sweeps) {
   return r;
 }
 
+PhaseResult micro_fault_recovery(std::uint64_t iters) {
+  // Fault-path micro: seeded injection draws plus the retry/backoff episode
+  // arithmetic of transfer_with_faults, with a straggler hash query per
+  // iteration. The rates keep ~6% of transfers on the recovery path, so both
+  // the healthy branch and the episode math are timed.
+  const sim::CostModel cost = sim::CostModel::knc();
+  sim::PcieLink link(cost);
+  sim::FaultPlanConfig fc;
+  fc.seed = 9;
+  fc.pcie_transient_rate = 0.05;
+  fc.pcie_sticky_rate = 0.01;
+  fc.straggler_rate = 0.1;
+  sim::FaultPlan plan(fc);
+  PhaseResult r;
+  Cycles now = 0;
+  std::uint64_t failures = 0;
+  const auto t0 = Clock::now();
+  for (std::uint64_t i = 0; i < iters; ++i) {
+    const sim::PcieTransferOutcome out = link.transfer_with_faults(
+        sim::PcieDir::kHostToDevice, now, 4096, plan);
+    failures += out.failures;
+    bool window_start = false;
+    (void)plan.straggler_mult_at(static_cast<CoreId>(i & 7), now,
+                                 &window_start);
+    now = out.done;
+  }
+  r.wall_ns = ns_between(t0, Clock::now());
+  r.refs = iters;
+  if (failures == 0)
+    std::fprintf(stderr, "fault_recovery: nothing injected\n");
+  return r;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -350,6 +385,8 @@ int main(int argc, char** argv) {
       {"micro_pte_walk", [&] { return micro_pte_walk(micro_iters); }},
       {"micro_fault_evict", [&] { return micro_fault_evict(micro_iters / 4); }},
       {"micro_scan_sweep", [&] { return micro_scan_sweep(micro_sweeps); }},
+      {"micro_fault_recovery",
+       [&] { return micro_fault_recovery(micro_iters / 4); }},
   };
   for (const MicroCase& m : micros) {
     if (!want(m.name)) continue;

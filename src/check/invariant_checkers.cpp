@@ -224,6 +224,65 @@ class FrameOwnershipChecker final : public sim::Checker {
   const core::MemoryManager& mm_;
 };
 
+/// Quarantine integrity (fault injection, docs/robustness.md): a
+/// quarantined frame is retired for the run — the allocator must record no
+/// owner for it, no address space may still hold it in a resident set, the
+/// quarantine bitmap must cross-foot to the cached count, and the frame
+/// partition must have been recomputed against the shrunk usable capacity
+/// (the MemoryManager::on_frames_quarantined hook fired). A frame that
+/// leaks back into service re-exposes the ECC poison the quarantine exists
+/// to contain.
+class FrameQuarantineChecker final : public sim::Checker {
+ public:
+  explicit FrameQuarantineChecker(const core::MemoryManager& mm) : mm_(mm) {}
+
+  std::string_view name() const override { return "frame-quarantine"; }
+
+  void check(CheckPoint /*point*/, std::vector<CheckViolation>& out) override {
+    const mm::FrameAllocator& alloc = mm_.allocator();
+    std::uint64_t scanned = 0;
+    for (std::uint64_t slot = 0; slot < alloc.capacity(); ++slot) {
+      const Pfn pfn = slot * alloc.frames_per_unit();
+      if (!alloc.is_quarantined(pfn)) continue;
+      ++scanned;
+      const Asid owner = alloc.owner_of(pfn);
+      if (owner != kInvalidAsid)
+        out.push_back({std::string(name()), "quarantined-with-owner",
+                       "quarantined frame " + std::to_string(pfn) +
+                           " is still charged to asid " +
+                           std::to_string(owner),
+                       kInvalidUnit, kInvalidCore});
+    }
+    if (scanned != alloc.quarantined_count())
+      out.push_back({std::string(name()), "quarantine-crossfoot",
+                     "quarantine bitmap marks " + std::to_string(scanned) +
+                         " frames but the counter says " +
+                         std::to_string(alloc.quarantined_count()),
+                     kInvalidUnit, kInvalidCore});
+    for (Asid s = 0; s < mm_.num_spaces(); ++s) {
+      mm_.space(s).registry().for_each([&](const mm::ResidentPage& pg) {
+        if (pg.pfn == kInvalidPfn) return;  // frame-refcount reports this
+        if (alloc.is_quarantined(pg.pfn))
+          out.push_back({std::string(name()), "resident-on-quarantined",
+                         "space " + std::to_string(s) +
+                             " holds quarantined frame " +
+                             std::to_string(pg.pfn) + " resident",
+                         pg.unit, kInvalidCore});
+      });
+    }
+    if (mm_.partition().capacity() != alloc.usable_capacity())
+      out.push_back({std::string(name()), "stale-partition-capacity",
+                     "partition targets computed for " +
+                         std::to_string(mm_.partition().capacity()) +
+                         " frames but usable capacity is " +
+                         std::to_string(alloc.usable_capacity()),
+                     kInvalidUnit, kInvalidCore});
+  }
+
+ private:
+  const core::MemoryManager& mm_;
+};
+
 /// Policy accounting: every built-in policy reports how many pages its
 /// internal lists track; that number must equal the resident-set size of
 /// the policy's own address space (pinned preload runs bypass policy
@@ -315,6 +374,11 @@ std::unique_ptr<sim::Checker> make_frame_ownership_checker(
   return std::make_unique<FrameOwnershipChecker>(mm);
 }
 
+std::unique_ptr<sim::Checker> make_frame_quarantine_checker(
+    const core::MemoryManager& mm) {
+  return std::make_unique<FrameQuarantineChecker>(mm);
+}
+
 std::unique_ptr<sim::Checker> make_policy_accounting_checker(
     const core::MemoryManager& mm) {
   return std::make_unique<PolicyAccountingChecker>(
@@ -335,6 +399,7 @@ void register_default_checkers(sim::CheckRegistry& registry,
   registry.add(make_tlb_consistency_checker(mm, machine));
   registry.add(make_frame_refcount_checker(mm));
   registry.add(make_frame_ownership_checker(mm));
+  registry.add(make_frame_quarantine_checker(mm));
   for (Asid s = 0; s < mm.num_spaces(); ++s)
     registry.add(std::make_unique<PolicyAccountingChecker>(
         mm.space(s), scoped_name("policy-accounting", mm, s)));

@@ -7,6 +7,9 @@
 //   frame-refcount     frames in use == resident pages, one frame per page
 //   frame-ownership    every frame owned by exactly the space holding it;
 //                      per-tenant in-use counts match registries and cross-foot
+//   frame-quarantine   quarantined (ECC-poisoned) frames carry no owner, sit
+//                      in no resident set, cross-foot to the cached count,
+//                      and the partition saw the shrunk usable capacity
 //   policy-accounting  policy list sizes == resident-set size
 //   clock-monotonic    per-core virtual clocks never run backwards
 //
@@ -36,6 +39,9 @@ std::unique_ptr<sim::Checker> make_frame_refcount_checker(
     const core::MemoryManager& mm);
 
 std::unique_ptr<sim::Checker> make_frame_ownership_checker(
+    const core::MemoryManager& mm);
+
+std::unique_ptr<sim::Checker> make_frame_quarantine_checker(
     const core::MemoryManager& mm);
 
 std::unique_ptr<sim::Checker> make_policy_accounting_checker(

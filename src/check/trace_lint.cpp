@@ -103,6 +103,16 @@ class Linter {
       saw_meta_ = true;
       // Multi-tenant traces declare their space count; absent means 1.
       if (const auto spaces = find_uint(text, "spaces")) spaces_ = *spaces;
+      // Fault-injected traces declare their retry budget (a quoted config
+      // string); absent means the FaultPlanConfig default.
+      if (const auto retries = find_string(text, "fault_max_retries")) {
+        std::uint64_t value = 0;
+        for (const char ch : *retries) {
+          if (ch < '0' || ch > '9') return;
+          value = value * 10 + static_cast<std::uint64_t>(ch - '0');
+        }
+        max_retries_ = value;
+      }
       return;
     }
     if (*type == "summary") {
@@ -231,6 +241,59 @@ class Linter {
       slot_end_ = *ts + *dur;
     } else if (*kind == "barrier_wait") {
       fault_ts(number, *core, *ts);
+    } else if (*kind == "fault_inject") {
+      const auto fault = find_uint(args, "fault");
+      if (!fault)
+        return issue(number, "parse-error", "fault_inject without fault kind");
+      ++pending_faults_[fault_key(*core, *fault)];
+      // An ECC inject names the poisoned frame in its detail arg; poison
+      // surfacing on an already-retired frame means data was (re)filled
+      // into a quarantined frame.
+      if (*fault == 3) {  // FaultKind::kEccPoison
+        const auto pfn = find_uint(args, "detail");
+        if (pfn && quarantined_pfns_.count(*pfn) != 0)
+          issue(number, "fill-from-quarantined-frame",
+                "ECC poison surfaces on frame " + std::to_string(*pfn) +
+                    " which is already quarantined");
+      }
+    } else if (*kind == "fault_retry") {
+      const auto fault = find_uint(args, "fault");
+      if (!fault)
+        return issue(number, "parse-error", "fault_retry without fault kind");
+      std::uint64_t& pending = pending_faults_[fault_key(*core, *fault)];
+      if (pending == 0)
+        issue(number, "retry-without-failure",
+              "core " + std::to_string(*core) + " retries fault kind " +
+                  std::to_string(*fault) + " with no injected failure pending");
+      else
+        --pending;
+    } else if (*kind == "fault_give_up") {
+      const auto fault = find_uint(args, "fault");
+      const auto attempts = find_uint(args, "attempts");
+      if (!fault || !attempts)
+        return issue(number, "parse-error",
+                     "fault_give_up without fault/attempts");
+      std::uint64_t& pending = pending_faults_[fault_key(*core, *fault)];
+      if (pending == 0)
+        issue(number, "retry-without-failure",
+              "core " + std::to_string(*core) + " gives up on fault kind " +
+                  std::to_string(*fault) + " with no injected failure pending");
+      else
+        --pending;
+      // Recovery is bounded retry: giving up EARLY abandons an operation the
+      // protocol still owed retries.
+      if (*attempts < max_retries_)
+        issue(number, "give-up-without-max-retries",
+              "give-up after " + std::to_string(*attempts) +
+                  " attempts but the declared retry budget is " +
+                  std::to_string(max_retries_));
+    } else if (*kind == "quarantine") {
+      const auto pfn = find_uint(args, "pfn");
+      if (!pfn) return issue(number, "parse-error", "quarantine without pfn");
+      if (!quarantined_pfns_.insert(*pfn).second)
+        issue(number, "fill-from-quarantined-frame",
+              "frame " + std::to_string(*pfn) +
+                  " quarantined twice — it must have been handed out again");
     } else {
       issue(number, "parse-error",
             "unknown event kind \"" + std::string(*kind) + '"');
@@ -371,9 +434,19 @@ class Linter {
     }
   }
 
+  /// Key for the per-(core, fault-kind) pending-failure ledger.
+  static std::uint64_t fault_key(std::uint64_t core, std::uint64_t fault) {
+    return (core << 3) | fault;
+  }
+
   LintResult& result_;
   std::unordered_map<std::uint64_t, UnitState> units_;  ///< by (asid, unit)
   std::unordered_map<std::uint64_t, CoreState> cores_;
+  /// Injected failures not yet consumed by a retry/give-up, per
+  /// (core, fault kind).
+  std::unordered_map<std::uint64_t, std::uint64_t> pending_faults_;
+  std::unordered_set<std::uint64_t> quarantined_pfns_;
+  std::uint64_t max_retries_ = 6;  ///< meta "fault_max_retries"; default 6
   std::unordered_map<std::string, std::uint64_t> by_kind_;
   std::uint64_t spaces_ = 1;  ///< meta "spaces" field; 1 = single-tenant
   std::unordered_map<std::uint64_t, Cycles> scan_end_;  ///< by asid

@@ -29,6 +29,21 @@
 //                              monotone
 //   summary-count-mismatch     the footer's counts match the stream
 //
+// Fault-injected traces (docs/robustness.md) add three recovery-protocol
+// rules over the fault_inject / fault_retry / fault_give_up / quarantine
+// events:
+//
+//   retry-without-failure      every retry (and give-up) consumes a
+//                              previously injected failure of the same
+//                              (core, fault kind) — recovery never runs
+//                              for a fault that did not happen
+//   give-up-without-max-retries a give-up only after the full retry budget
+//                              (meta "fault_max_retries", default 6) was
+//                              spent — recovery never abandons early
+//   fill-from-quarantined-frame a quarantined frame is retired for the run:
+//                              it is never quarantined again and ECC poison
+//                              never surfaces on it a second time
+//
 // Multi-tenant traces (meta "spaces" > 1) carry an asid on every event and
 // all unit state above is keyed by (asid, unit); three rules are specific
 // to them:

@@ -9,6 +9,7 @@
 #include "mm/pspt.h"
 #include "mm/regular_page_table.h"
 #include "policy/policy_factory.h"
+#include "sim/fault_plan.h"
 
 namespace cmcp::core {
 
@@ -174,29 +175,27 @@ Cycles AddressSpace::access(CoreId core, Vpn vpn, bool write, Cycles now) {
     // it may not (pool exhausted or frames earmarked for under-floor
     // neighbors), the partition also picks which space must evict. Under
     // PartitionKind::kNone this reduces exactly to "allocate; if full,
-    // evict from yourself" — the pre-refactor behavior.
-    Pfn pfn = mm_.partition().may_allocate(asid_, allocator_)
-                  ? allocator_.allocate(asid_)
-                  : kInvalidPfn;
-    if (pfn == kInvalidPfn) {
+    // evict from yourself" — the pre-refactor behavior. With a fault plan
+    // attached, ECC-poisoned frames surfacing at allocation (and latent
+    // poison swallowing the frame an eviction was meant to free) re-enter
+    // the loop; each quarantine consumes its poison, so it terminates.
+    Pfn pfn = allocate_frame(core, now + mem_cycles + lock_wait, &fault_cycles,
+                             /*honor_partition=*/true);
+    while (pfn == kInvalidPfn) {
       fault_cycles +=
           mm_.evict_for(asid_, core, now + mem_cycles + fault_cycles + lock_wait);
-      pfn = allocator_.allocate(asid_);
-      CMCP_CHECK(pfn != kInvalidPfn);
       trace_evicted = 1;
+      pfn = allocate_frame(core, now + mem_cycles + lock_wait, &fault_cycles,
+                           /*honor_partition=*/false);
     }
 
     // Fetch the unit's data from the host.
     const Cycles ready = now + mem_cycles + fault_cycles + lock_wait;
-    Cycles queue_wait = 0;
-    const Cycles done = machine_.pcie().transfer(
-        sim::PcieDir::kHostToDevice, ready, unit_bytes(area_.page_size()),
-        &queue_wait);
-    pcie_wait += done - ready;
+    const sim::Machine::PcieTransferResult xfer = machine_.pcie_transfer(
+        core, sim::PcieDir::kHostToDevice, ready, unit_bytes(area_.page_size()),
+        unit, asid_);
+    pcie_wait += xfer.done - ready;
     ctr.pcie_bytes_in += unit_bytes(area_.page_size());
-    if (tr != nullptr)
-      tr->emit({sim::trace::EventKind::kPcieTransfer, core, ready, done - ready,
-                unit, 0, unit_bytes(area_.page_size()), queue_wait, asid_});
 
     mm::ResidentPage& fresh = registry_.insert(unit, pfn, now);
     page_table_->map(core, unit, pfn);
@@ -205,7 +204,7 @@ Cycles AddressSpace::access(CoreId core, Vpn vpn, bool write, Cycles now) {
     policy_->on_insert(fresh);
 
     if (prefetch_degree_ > 0)
-      fault_cycles += prefetch_after(core, unit, done);
+      fault_cycles += prefetch_after(core, unit, xfer.done);
   }
 
   if (page_table_->kind() == PageTableKind::kRegular) {
@@ -253,17 +252,14 @@ Cycles AddressSpace::prefetch_after(CoreId core, UnitIdx unit, Cycles now) {
     if (!mm_.partition().may_allocate(asid_, allocator_)) break;
     if (registry_.find(next) != nullptr) continue;
     if (page_table_->any_mapping(next)) continue;
-    const Pfn pfn = allocator_.allocate(asid_);
-    CMCP_CHECK(pfn != kInvalidPfn);
-    Cycles queue_wait = 0;
-    const Cycles done = machine_.pcie().transfer(
-        sim::PcieDir::kHostToDevice, now, unit_bytes(area_.page_size()),
-        &queue_wait);
-    if (sim::trace::EventSink* tr = machine_.trace())
-      tr->emit({sim::trace::EventKind::kPcieTransfer, core, now, done - now,
-                next, 0, unit_bytes(area_.page_size()), queue_wait, asid_});
+    const Pfn pfn = allocate_frame(core, now, &issue_cycles,
+                                   /*honor_partition=*/true);
+    if (pfn == kInvalidPfn) break;  // quarantines may have drained the pool
+    const sim::Machine::PcieTransferResult xfer = machine_.pcie_transfer(
+        core, sim::PcieDir::kHostToDevice, now, unit_bytes(area_.page_size()),
+        next, asid_);
     mm::ResidentPage& pg = registry_.insert(next, pfn, now);
-    pg.ready_at = done;
+    pg.ready_at = xfer.done;
     pg.core_map_count = 0;  // no core maps it yet
     policy_->on_insert(pg);
     ctr.pcie_bytes_in += unit_bytes(area_.page_size());
@@ -271,6 +267,49 @@ Cycles AddressSpace::prefetch_after(CoreId core, UnitIdx unit, Cycles now) {
     issue_cycles += cost.policy_op;  // request setup
   }
   return issue_cycles;
+}
+
+Pfn AddressSpace::allocate_frame(CoreId core, Cycles base, Cycles* cycles,
+                                 bool honor_partition) {
+  sim::FaultPlan* const plan = machine_.fault_plan();
+  for (;;) {
+    if (honor_partition && !mm_.partition().may_allocate(asid_, allocator_))
+      return kInvalidPfn;
+    const Pfn pfn = allocator_.allocate(asid_);
+    if (pfn == kInvalidPfn) return pfn;
+    if (plan == nullptr || !plan->surfaces_at_alloc(pfn)) return pfn;
+    // ECC poison surfaced while the kernel scrubbed the fresh frame:
+    // quarantine it and try the next free frame. Capacity just shrank, so
+    // the partition is consulted again before the retry.
+    *cycles += quarantine_frame(core, base + *cycles, pfn, kInvalidUnit);
+    honor_partition = true;
+  }
+}
+
+Cycles AddressSpace::quarantine_frame(CoreId core, Cycles at, Pfn pfn,
+                                      UnitIdx unit) {
+  sim::FaultPlan* const plan = machine_.fault_plan();
+  const sim::FaultPlanConfig& fc = plan->config();
+  allocator_.quarantine(pfn);
+  CMCP_CHECK_MSG(allocator_.usable_capacity() > 0,
+                 "every device frame is quarantined");
+  mm_.on_frames_quarantined();
+  metrics::CoreCounters& ctr = machine_.counters(core);
+  ++ctr.faults_injected;
+  ctr.cycles_recovery += fc.ecc_detect_cycles;
+  plan->record(sim::FaultKind::kEccPoison, asid_, 1, 0, false,
+               fc.ecc_detect_cycles);
+  plan->record_quarantine();
+  if (sim::trace::EventSink* tr = machine_.trace()) {
+    constexpr auto kEcc =
+        static_cast<std::uint64_t>(sim::FaultKind::kEccPoison);
+    tr->emit({sim::trace::EventKind::kFaultInject, core, at,
+              fc.ecc_detect_cycles, unit, kEcc, 1, pfn, asid_});
+    tr->emit({sim::trace::EventKind::kQuarantine, core, at,
+              fc.ecc_detect_cycles, unit, pfn, allocator_.usable_capacity(),
+              0, asid_});
+  }
+  return fc.ecc_detect_cycles;
 }
 
 Cycles AddressSpace::shootdown_unit(CoreId initiator, Cycles now, CoreMask targets,
@@ -322,26 +361,29 @@ Cycles AddressSpace::evict_one(CoreId faulting_core, Cycles now) {
     // default (the paper's kernel); with async_writeback the core only
     // queues the transfer — the link still carries the bytes.
     const Cycles ready = now + cycles;
-    Cycles queue_wait = 0;
-    const Cycles done = machine_.pcie().transfer(
-        sim::PcieDir::kDeviceToHost, ready, unit_bytes(area_.page_size()),
-        &queue_wait);
+    const sim::Machine::PcieTransferResult xfer = machine_.pcie_transfer(
+        faulting_core, sim::PcieDir::kDeviceToHost, ready,
+        unit_bytes(area_.page_size()), unit, asid_);
     ctr.pcie_bytes_out += unit_bytes(area_.page_size());
     ++ctr.writebacks;
-    if (tr != nullptr)
-      tr->emit({sim::trace::EventKind::kPcieTransfer, faulting_core, ready,
-                done - ready, unit, 1, unit_bytes(area_.page_size()),
-                queue_wait, asid_});
     if (async_writeback_) {
       cycles += cost.policy_op;  // staging/queueing only
     } else {
-      ctr.cycles_pcie_wait += done - ready;
-      cycles += done - ready;
+      ctr.cycles_pcie_wait += xfer.done - ready;
+      cycles += xfer.done - ready;
     }
   }
 
   policy_->on_evict(*victim);
-  allocator_.free(victim->pfn);
+  sim::FaultPlan* const plan = machine_.fault_plan();
+  if (plan != nullptr && plan->surfaces_at_evict(victim->pfn)) {
+    // Latent ECC poison surfaces as the eviction path touches the frame:
+    // quarantine instead of free. The faulting tenant's allocate loop sees
+    // no frame and orders another eviction.
+    cycles += quarantine_frame(faulting_core, now + cycles, victim->pfn, unit);
+  } else {
+    allocator_.free(victim->pfn);
+  }
   registry_.erase(*victim);
   ++ctr.evictions;
   if (tr != nullptr)

@@ -48,7 +48,10 @@ class AddressSpace final : public policy::PolicyHost {
 
   /// Evict one unit chosen by this space's policy; returns cycles consumed
   /// at `faulting_core` (which may belong to ANOTHER space under QoS
-  /// priority eviction) and frees a frame in the shared allocator.
+  /// priority eviction) and frees a frame in the shared allocator — unless
+  /// latent ECC poison surfaces on the victim's frame, in which case the
+  /// frame is quarantined instead and the caller's allocate loop must evict
+  /// again.
   Cycles evict_one(CoreId faulting_core, Cycles now);
 
   // --- PolicyHost ----------------------------------------------------------
@@ -81,6 +84,21 @@ class AddressSpace final : public policy::PolicyHost {
 
  private:
   Cycles prefetch_after(CoreId core, UnitIdx unit, Cycles now);
+
+  /// Allocate a frame for this space, screening each candidate against the
+  /// fault plan's ECC poison set: poisoned frames are quarantined (cost
+  /// added to `*cycles`, events stamped at `base + *cycles`) and the next
+  /// free frame is tried. With no plan attached this is exactly the
+  /// pre-fault may_allocate + allocate sequence. `honor_partition` is false
+  /// on the retry directly after an eviction this tenant ordered (the
+  /// pre-fault contract: it paid for the frame and takes it).
+  Pfn allocate_frame(CoreId core, Cycles base, Cycles* cycles,
+                     bool honor_partition);
+
+  /// Retire `pfn` (ECC poison surfaced): quarantine it in the shared
+  /// allocator, shrink the partition, emit trace events and account the
+  /// recovery. Returns the detection cost in cycles.
+  Cycles quarantine_frame(CoreId core, Cycles at, Pfn pfn, UnitIdx unit);
 
   /// Shoot down `unit` on `targets`, handling the initiator's own TLB
   /// locally. Returns initiator cycles.

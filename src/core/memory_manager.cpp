@@ -1,6 +1,7 @@
 #include "core/memory_manager.h"
 
 #include "common/assert.h"
+#include "sim/fault_plan.h"
 
 namespace cmcp::core {
 
@@ -62,7 +63,36 @@ MemoryManager::MemoryManager(sim::Machine& machine,
 }
 
 Cycles MemoryManager::access(CoreId core, Vpn vpn, bool write, Cycles now) {
-  return spaces_[machine_.space_of_core(core)]->access(core, vpn, write, now);
+  Cycles c = spaces_[machine_.space_of_core(core)]->access(core, vpn, write, now);
+  sim::FaultPlan* const plan = machine_.fault_plan();
+  if (plan != nullptr) {
+    // Straggler core: every access inside the afflicted window costs
+    // `straggler_mult` times as much (a thermally throttled or contended
+    // core). The decision is a pure hash of (seed, core, window index), so
+    // it is independent of evaluation order and replays bit-identically.
+    bool window_start = false;
+    const std::uint64_t mult = plan->straggler_mult_at(core, now, &window_start);
+    if (mult > 1) {
+      const Cycles extra = c * (mult - 1);
+      metrics::CoreCounters& ctr = machine_.counters(core);
+      ctr.cycles_straggler += extra;
+      const Asid asid = machine_.space_of_core(core);
+      if (window_start) {
+        ++ctr.faults_injected;
+        plan->record(sim::FaultKind::kStraggler, asid, 1, 0, false, 0);
+        if (sim::trace::EventSink* tr = machine_.trace()) {
+          constexpr auto kStrag =
+              static_cast<std::uint64_t>(sim::FaultKind::kStraggler);
+          tr->emit({sim::trace::EventKind::kFaultInject, core, now,
+                    plan->config().straggler_window, kInvalidUnit, kStrag, 1,
+                    mult, asid});
+        }
+      }
+      plan->record_straggler_cycles(extra);
+      c += extra;
+    }
+  }
+  return c;
 }
 
 void MemoryManager::run_periodic(Cycles watermark) {

@@ -104,8 +104,17 @@ class MemoryManager final {
 
   /// Pick the victim space for a denied allocation by `requester` and make
   /// it evict one unit (initiated by `core`, the faulting core). Returns
-  /// cycles consumed at `core`. Exactly one frame becomes free.
+  /// cycles consumed at `core`. Exactly one frame becomes free — unless
+  /// latent ECC poison surfaces on the victim frame (it is quarantined and
+  /// the caller must evict again).
   Cycles evict_for(Asid requester, CoreId core, Cycles now);
+
+  /// Called by a space right after it quarantines a frame: recompute the
+  /// partition's floors and targets against the shrunk usable capacity so
+  /// tenants degrade proportionally instead of crashing.
+  void on_frames_quarantined() {
+    partition_.set_capacity(allocator_.usable_capacity());
+  }
 
   /// Shootdown-interference accounting: `cause` invalidated `units` TLB
   /// entries on `receiver`'s cores. Mirrors the per-receiver
@@ -123,6 +132,9 @@ class MemoryManager final {
   const mm::PageTable& page_table() const { return spaces_[0]->page_table(); }
   const mm::PageRegistry& registry() const { return spaces_[0]->registry(); }
   const mm::FrameAllocator& allocator() const { return allocator_; }
+  /// Mutable allocator access for SimCheck fault-injection tests ONLY
+  /// (mirrors AddressSpace::mutable_page_table_for_test).
+  mm::FrameAllocator& mutable_allocator_for_test() { return allocator_; }
   /// Shared device capacity in mapping units (the allocator's capacity).
   std::uint64_t capacity_units() const { return allocator_.capacity(); }
   const mm::ComputationArea& area() const { return spaces_[0]->area(); }

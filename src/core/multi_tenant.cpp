@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
 #include <queue>
 
 #include "check/invariant_checkers.h"
@@ -73,6 +74,22 @@ MultiTenantResult run_multi_tenant(const MultiTenantConfig& config,
     config.trace->set_num_app_cores(machine.num_cores());
     config.trace->set_num_spaces(num_tenants);
     machine.set_trace(config.trace);
+  }
+  sim::FaultPlanConfig fault_config = config.faults;
+  if (!fault_config.enabled()) {
+    // CI chaos hook — see core::Simulation's constructor.
+    if (const char* env = std::getenv("CMCP_CHAOS_FAULTS");
+        env != nullptr && *env != '\0') {
+      CMCP_CHECK_MSG(sim::FaultPlanConfig::parse(env, &fault_config),
+                     "malformed CMCP_CHAOS_FAULTS spec");
+    }
+  }
+  std::unique_ptr<sim::FaultPlan> faults;
+  if (fault_config.enabled()) {
+    faults = std::make_unique<sim::FaultPlan>(fault_config);
+    faults->select_poison(mm.capacity_units(),
+                          mm.allocator().frames_per_unit());
+    machine.set_fault_plan(faults.get());
   }
   std::unique_ptr<sim::CheckRegistry> checks;
 #if CMCP_SIMCHECK_ENABLED
@@ -207,26 +224,16 @@ MultiTenantResult run_multi_tenant(const MultiTenantConfig& config,
         const sim::CostModel& cost = machine.cost();
         metrics::CoreCounters& ctr = machine.counters(core);
         const Cycles start = machine.clock(core) + cost.syscall_local;
-        Cycles queue_wait = 0;
-        const Cycles req_done = machine.pcie().transfer(
-            sim::PcieDir::kDeviceToHost, start,
-            cost.syscall_message_bytes + op.count, &queue_wait);
-        if (sim::trace::EventSink* tr = machine.trace())
-          tr->emit({sim::trace::EventKind::kPcieTransfer, core, start,
-                    req_done - start, kInvalidUnit, 1,
-                    cost.syscall_message_bytes + op.count, queue_wait,
-                    pc.tenant});
-        const Cycles host_done = req_done + cost.syscall_host_dispatch + op.cycles;
-        const Cycles resp_done = machine.pcie().transfer(
-            sim::PcieDir::kHostToDevice, host_done, cost.syscall_message_bytes,
-            &queue_wait);
-        if (sim::trace::EventSink* tr = machine.trace())
-          tr->emit({sim::trace::EventKind::kPcieTransfer, core, host_done,
-                    resp_done - host_done, kInvalidUnit, 0,
-                    cost.syscall_message_bytes, queue_wait, pc.tenant});
+        const sim::Machine::PcieTransferResult req = machine.pcie_transfer(
+            core, sim::PcieDir::kDeviceToHost, start,
+            cost.syscall_message_bytes + op.count, kInvalidUnit, pc.tenant);
+        const Cycles host_done = req.done + cost.syscall_host_dispatch + op.cycles;
+        const sim::Machine::PcieTransferResult resp = machine.pcie_transfer(
+            core, sim::PcieDir::kHostToDevice, host_done,
+            cost.syscall_message_bytes, kInvalidUnit, pc.tenant);
         ++ctr.syscalls;
-        ctr.cycles_syscall += resp_done - machine.clock(core);
-        machine.set_clock(core, resp_done);
+        ctr.cycles_syscall += resp.done - machine.clock(core);
+        machine.set_clock(core, resp.done);
         heap.push({machine.clock(core), core});
         break;
       }
@@ -279,6 +286,11 @@ MultiTenantResult run_multi_tenant(const MultiTenantConfig& config,
     tr.resident_units_end = mm.allocator().in_use_by(t);
     tr.scans = space.scans_completed();
     result.makespan = std::max(result.makespan, tr.makespan);
+  }
+  if (faults != nullptr) {
+    result.faults_enabled = true;
+    result.fault_config = faults->config();
+    result.fault_stats = faults->stats();
   }
   return result;
 }

@@ -21,6 +21,7 @@
 #include "metrics/counters.h"
 #include "mm/frame_partition.h"
 #include "sim/checker.h"
+#include "sim/fault_plan.h"
 #include "sim/machine.h"
 #include "workloads/multi_tenant.h"
 
@@ -57,6 +58,11 @@ struct MultiTenantConfig {
 
   /// SimCheck protocol-invariant sweeps (see core::SimulationConfig).
   bool simcheck = true;
+
+  /// Deterministic fault injection (docs/robustness.md); same semantics as
+  /// core::SimulationConfig::faults, including the CMCP_CHAOS_FAULTS
+  /// environment fallback when disabled here.
+  sim::FaultPlanConfig faults;
 };
 
 /// Per-tenant observables of one multi-tenant run.
@@ -85,6 +91,14 @@ struct MultiTenantResult {
   std::vector<std::uint64_t> interference;
   std::uint64_t shared_capacity_units = 0;
   std::string partition_kind;
+
+  /// Fault-injection accounting (all-zero unless faults_enabled). The
+  /// per-asid vectors in fault_stats are the per-tenant blast radius.
+  /// fault_config is the EFFECTIVE plan — it reflects CMCP_CHAOS_FAULTS
+  /// when the env hook injected one, unlike MultiTenantConfig::faults.
+  bool faults_enabled = false;
+  sim::FaultPlanConfig fault_config;
+  sim::FaultStats fault_stats;
 };
 
 /// Run the composed workloads to completion. `tenant_configs` must have one

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <cmath>
 #include <queue>
 
@@ -74,6 +75,23 @@ Simulation::Simulation(const SimulationConfig& config, const wl::Workload& workl
   if (config_.trace != nullptr) {
     config_.trace->set_num_app_cores(machine_.num_cores());
     machine_.set_trace(config_.trace);
+  }
+  sim::FaultPlanConfig fc = config_.faults;
+  if (!fc.enabled()) {
+    // CI chaos hook: an explicitly configured plan always wins, but a run
+    // with faults off picks up CMCP_CHAOS_FAULTS so the whole fast suite
+    // can be replayed under a fault mix without touching each test.
+    if (const char* env = std::getenv("CMCP_CHAOS_FAULTS");
+        env != nullptr && *env != '\0') {
+      CMCP_CHECK_MSG(sim::FaultPlanConfig::parse(env, &fc),
+                     "malformed CMCP_CHAOS_FAULTS spec");
+    }
+  }
+  if (fc.enabled()) {
+    faults_ = std::make_unique<sim::FaultPlan>(fc);
+    faults_->select_poison(mm_.capacity_units(),
+                           mm_.allocator().frames_per_unit());
+    machine_.set_fault_plan(faults_.get());
   }
 #if CMCP_SIMCHECK_ENABLED
   if (config_.simcheck) {
@@ -195,25 +213,16 @@ SimulationResult Simulation::run() {
         const sim::CostModel& cost = machine_.cost();
         metrics::CoreCounters& ctr = machine_.counters(core);
         const Cycles start = machine_.clock(core) + cost.syscall_local;
-        Cycles queue_wait = 0;
-        const Cycles req_done = machine_.pcie().transfer(
-            sim::PcieDir::kDeviceToHost, start,
-            cost.syscall_message_bytes + op.count, &queue_wait);
-        if (sim::trace::EventSink* tr = machine_.trace())
-          tr->emit({sim::trace::EventKind::kPcieTransfer, core, start,
-                    req_done - start, kInvalidUnit, 1,
-                    cost.syscall_message_bytes + op.count, queue_wait});
-        const Cycles host_done = req_done + cost.syscall_host_dispatch + op.cycles;
-        const Cycles resp_done = machine_.pcie().transfer(
-            sim::PcieDir::kHostToDevice, host_done, cost.syscall_message_bytes,
-            &queue_wait);
-        if (sim::trace::EventSink* tr = machine_.trace())
-          tr->emit({sim::trace::EventKind::kPcieTransfer, core, host_done,
-                    resp_done - host_done, kInvalidUnit, 0,
-                    cost.syscall_message_bytes, queue_wait});
+        const sim::Machine::PcieTransferResult req = machine_.pcie_transfer(
+            core, sim::PcieDir::kDeviceToHost, start,
+            cost.syscall_message_bytes + op.count, kInvalidUnit, 0);
+        const Cycles host_done = req.done + cost.syscall_host_dispatch + op.cycles;
+        const sim::Machine::PcieTransferResult resp = machine_.pcie_transfer(
+            core, sim::PcieDir::kHostToDevice, host_done,
+            cost.syscall_message_bytes, kInvalidUnit, 0);
         ++ctr.syscalls;
-        ctr.cycles_syscall += resp_done - machine_.clock(core);
-        machine_.set_clock(core, resp_done);
+        ctr.cycles_syscall += resp.done - machine_.clock(core);
+        machine_.set_clock(core, resp.done);
         heap.push({machine_.clock(core), core});
         break;
       }
@@ -252,6 +261,11 @@ SimulationResult Simulation::run() {
   pol.stats([&](std::string_view name, std::uint64_t value) {
     result.policy_stats.emplace_back(std::string(name), value);
   });
+  if (faults_ != nullptr) {
+    result.faults_enabled = true;
+    result.fault_config = faults_->config();
+    result.fault_stats = faults_->stats();
+  }
   return result;
 }
 

@@ -18,6 +18,7 @@
 #include "core/memory_manager.h"
 #include "metrics/counters.h"
 #include "sim/checker.h"
+#include "sim/fault_plan.h"
 #include "sim/machine.h"
 #include "workloads/access_stream.h"
 
@@ -62,6 +63,13 @@ struct SimulationConfig {
   /// violated invariant aborts with a structured diagnostic (override via
   /// Simulation::check_registry()->set_handler). See docs/invariants.md.
   bool simcheck = true;
+
+  /// Deterministic fault injection (docs/robustness.md). Disabled (the
+  /// default all-zero-rate config) constructs no plan, so every code path
+  /// is the exact pre-fault one — byte-identical traces and summaries.
+  /// When disabled here, the CMCP_CHAOS_FAULTS environment variable (a
+  /// to_spec()-format string) may inject a plan — the CI chaos job's hook.
+  sim::FaultPlanConfig faults;
 };
 
 struct SimulationResult {
@@ -84,6 +92,13 @@ struct SimulationResult {
   /// (Fig. 6 uses unconstrained PSPT runs so this reflects true sharing).
   std::vector<std::uint64_t> sharing_histogram;
 
+  /// Fault-injection accounting (all-zero unless faults_enabled).
+  /// fault_config is the EFFECTIVE plan — it reflects CMCP_CHAOS_FAULTS
+  /// when the env hook injected one, unlike SimulationConfig::faults.
+  bool faults_enabled = false;
+  sim::FaultPlanConfig fault_config;
+  sim::FaultStats fault_stats;
+
   double avg_major_faults_per_core() const;
   double avg_remote_invalidations_per_core() const;
   double avg_dtlb_misses_per_core() const;
@@ -105,6 +120,9 @@ class Simulation {
   /// and to trigger unconditional sweeps.
   sim::CheckRegistry* check_registry() { return checks_.get(); }
 
+  /// The fault plan, or null when fault injection is disabled.
+  sim::FaultPlan* fault_plan() { return faults_.get(); }
+
  private:
   static sim::MachineConfig machine_config_for(const SimulationConfig& config,
                                                const wl::Workload& workload);
@@ -120,6 +138,8 @@ class Simulation {
   MemoryManager mm_;
   /// Null when SimCheck is disabled (by config or compiled out).
   std::unique_ptr<sim::CheckRegistry> checks_;
+  /// Null when fault injection is disabled (the common case).
+  std::unique_ptr<sim::FaultPlan> faults_;
   bool ran_ = false;
 };
 

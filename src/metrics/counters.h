@@ -29,6 +29,11 @@ struct CoreCounters {
   std::uint64_t pcie_bytes_in = 0;   ///< host -> device (page fetch)
   std::uint64_t pcie_bytes_out = 0;  ///< device -> host (dirty write-back)
 
+  // Fault injection (zero unless a sim::FaultPlan is attached).
+  std::uint64_t faults_injected = 0;  ///< faults observed on this core
+  std::uint64_t fault_retries = 0;    ///< recovery retries performed
+  std::uint64_t fault_give_ups = 0;   ///< retry budgets exhausted
+
   // Cycle breakdown.
   Cycles cycles_compute = 0;     ///< workload compute ops
   Cycles cycles_mem = 0;         ///< TLB hits/walks + data references
@@ -39,6 +44,8 @@ struct CoreCounters {
   Cycles cycles_lock_wait = 0;   ///< page-table and invalidation-slot locks
   Cycles cycles_barrier = 0;     ///< idle at workload barriers
   Cycles cycles_syscall = 0;     ///< blocked on host-offloaded system calls
+  Cycles cycles_recovery = 0;    ///< retry/backoff/quarantine recovery cost
+  Cycles cycles_straggler = 0;   ///< extra cycles from straggler inflation
 
   CoreCounters& operator+=(const CoreCounters& o) {
     accesses += o.accesses;
@@ -55,6 +62,9 @@ struct CoreCounters {
     syscalls += o.syscalls;
     pcie_bytes_in += o.pcie_bytes_in;
     pcie_bytes_out += o.pcie_bytes_out;
+    faults_injected += o.faults_injected;
+    fault_retries += o.fault_retries;
+    fault_give_ups += o.fault_give_ups;
     cycles_compute += o.cycles_compute;
     cycles_mem += o.cycles_mem;
     cycles_fault += o.cycles_fault;
@@ -64,6 +74,8 @@ struct CoreCounters {
     cycles_lock_wait += o.cycles_lock_wait;
     cycles_barrier += o.cycles_barrier;
     cycles_syscall += o.cycles_syscall;
+    cycles_recovery += o.cycles_recovery;
+    cycles_straggler += o.cycles_straggler;
     return *this;
   }
 };

@@ -24,6 +24,7 @@ core::SimulationConfig RunSpec::to_config() const {
   config.memory_fraction = memory_fraction > 0.0
                                ? memory_fraction
                                : wl::paper_memory_fraction(workload);
+  config.faults = faults;
   return config;
 }
 
@@ -76,6 +77,14 @@ sim::trace::Metadata RunSpec::describe() const {
     default:
       break;
   }
+  if (faults.enabled()) {
+    // Only when enabled: legacy headers must stay byte-identical. The spec
+    // string alone reproduces the schedule; seed and retry budget are also
+    // broken out for trace_lint's give-up rule.
+    meta.emplace_back("faults", faults.to_spec());
+    meta.emplace_back("fault_seed", std::to_string(faults.seed));
+    meta.emplace_back("fault_max_retries", std::to_string(faults.max_retries));
+  }
   return meta;
 }
 
@@ -113,6 +122,16 @@ sim::trace::Summary result_summary(const core::SimulationResult& result) {
   s.emplace_back("scans", result.scans);
   s.emplace_back("footprint_units", result.footprint_units);
   s.emplace_back("capacity_units", result.capacity_units);
+  if (result.faults_enabled) {
+    // Gated so fault-free summaries stay byte-identical to pre-fault runs.
+    const sim::FaultStats& fs = result.fault_stats;
+    s.emplace_back("faults_injected", fs.total_injected());
+    s.emplace_back("fault_retries", fs.retries);
+    s.emplace_back("fault_give_ups", fs.give_ups);
+    s.emplace_back("frames_quarantined", fs.frames_quarantined);
+    s.emplace_back("recovery_cycles", fs.recovery_cycles);
+    s.emplace_back("straggler_cycles", fs.straggler_cycles);
+  }
   for (const auto& [name, value] : result.policy_stats)
     s.emplace_back("policy." + name, value);
   return s;

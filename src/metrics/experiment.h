@@ -33,6 +33,12 @@ struct RunSpec {
   std::string trace_path;
   sim::trace::Format trace_format = sim::trace::Format::kPerfetto;
 
+  /// Deterministic fault injection (docs/robustness.md). Default-disabled:
+  /// the run then takes the exact pre-fault code paths and emits
+  /// byte-identical artifacts. Serialized in describe() only when enabled,
+  /// so legacy trace headers stay unchanged.
+  sim::FaultPlanConfig faults;
+
   /// Human-oriented one-line summary (lossy; legends, progress lines).
   std::string label() const;
 

@@ -1,0 +1,58 @@
+#include "metrics/resilience_report.h"
+
+#include <sstream>
+
+namespace cmcp::metrics {
+
+std::string format_resilience_report(const sim::FaultPlanConfig& config,
+                                     const sim::FaultStats& stats,
+                                     std::uint64_t capacity_units) {
+  std::ostringstream ss;
+  ss << "resilience report (faults=" << config.to_spec() << ")\n";
+
+  ss << "  faults injected      " << stats.total_injected() << " (";
+  for (unsigned k = 0; k < sim::kNumFaultKinds; ++k) {
+    if (k > 0) ss << ' ';
+    ss << sim::to_string(static_cast<sim::FaultKind>(k)) << '='
+       << stats.injected[k];
+  }
+  ss << ")\n";
+
+  ss << "  recovery retries     " << stats.retries << "\n";
+  ss << "  give-ups             " << stats.give_ups << "\n";
+
+  ss << "  frames quarantined   " << stats.frames_quarantined;
+  if (capacity_units > 0) {
+    const double lost = 100.0 * static_cast<double>(stats.frames_quarantined) /
+                        static_cast<double>(capacity_units);
+    ss << " (capacity lost " << lost << "%)";
+  }
+  ss << "\n";
+
+  // Straggler inflation is endured, not recovered from, so it has its own
+  // line and is excluded from the per-fault recovery mean.
+  std::uint64_t recovered_faults = 0;
+  for (unsigned k = 0; k < sim::kNumFaultKinds; ++k) {
+    if (static_cast<sim::FaultKind>(k) == sim::FaultKind::kStraggler) continue;
+    recovered_faults += stats.injected[k];
+  }
+  const double mean =
+      recovered_faults == 0
+          ? 0.0
+          : static_cast<double>(stats.recovery_cycles) /
+                static_cast<double>(recovered_faults);
+  ss << "  mean recovery cost   " << mean << " cycles/fault\n";
+  ss << "  straggler inflation  " << stats.straggler_cycles << " cycles\n";
+
+  for (std::size_t asid = 0; asid < stats.per_asid_faults.size(); ++asid) {
+    if (stats.per_asid_faults[asid] == 0) continue;
+    const Cycles rec = asid < stats.per_asid_recovery.size()
+                           ? stats.per_asid_recovery[asid]
+                           : 0;
+    ss << "  tenant " << asid << "             faults="
+       << stats.per_asid_faults[asid] << " recovery=" << rec << " cycles\n";
+  }
+  return ss.str();
+}
+
+}  // namespace cmcp::metrics

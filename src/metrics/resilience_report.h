@@ -1,0 +1,32 @@
+// Resilience report: the human-readable summary of one fault-injected run —
+// what was injected, what it cost to recover, and how much capacity was
+// lost. Printed by cmcp_sim when a FaultPlan was active; the machine-
+// readable counterpart is the fault rows result_summary() appends to the
+// JSONL trace summary.
+#pragma once
+
+#include <string>
+
+#include "sim/fault_plan.h"
+
+namespace cmcp::metrics {
+
+/// Multi-line report (trailing newline included):
+///
+///   resilience report
+///     faults injected      42 (pcie_transient=30 ... straggler=2)
+///     recovery retries     37
+///     give-ups             1
+///     frames quarantined   2 (capacity lost 1.6%)
+///     mean recovery cost   8123 cycles/fault
+///     straggler inflation  120000 cycles
+///     tenant 0             faults=30 recovery=61000 cycles
+///
+/// `capacity_units` is the allocator's nominal capacity (the denominator of
+/// "capacity lost"); per-tenant lines appear only for tenants that saw at
+/// least one fault.
+std::string format_resilience_report(const sim::FaultPlanConfig& config,
+                                     const sim::FaultStats& stats,
+                                     std::uint64_t capacity_units);
+
+}  // namespace cmcp::metrics

@@ -12,6 +12,7 @@ FrameAllocator::FrameAllocator(std::uint64_t capacity, PageSizeClass size)
   for (std::uint64_t i = capacity; i-- > 0;) free_.push_back(i * frames_per_unit_);
   allocated_.assign(capacity, 0);
   owners_.assign(capacity, kInvalidAsid);
+  quarantined_.assign(capacity, 0);
 }
 
 Pfn FrameAllocator::allocate(Asid owner) {
@@ -38,6 +39,30 @@ void FrameAllocator::free(Pfn pfn) {
   --in_use_by_[owner];
   owners_[slot] = kInvalidAsid;
   free_.push_back(pfn);
+}
+
+void FrameAllocator::quarantine(Pfn pfn) {
+  CMCP_CHECK(pfn % frames_per_unit_ == 0);
+  const auto slot = pfn / frames_per_unit_;
+  CMCP_CHECK(slot < capacity_);
+  CMCP_CHECK_MSG(allocated_[slot] != 0,
+                 "quarantine of a frame that is not allocated");
+  CMCP_CHECK_MSG(quarantined_[slot] == 0, "double quarantine of device frame");
+  allocated_[slot] = 0;
+  const Asid owner = owners_[slot];
+  CMCP_CHECK(owner < in_use_by_.size() && in_use_by_[owner] > 0);
+  --in_use_by_[owner];
+  owners_[slot] = kInvalidAsid;
+  // Deliberately NOT pushed onto free_: the frame is retired for the run.
+  quarantined_[slot] = 1;
+  ++quarantined_count_;
+}
+
+bool FrameAllocator::is_quarantined(Pfn pfn) const {
+  CMCP_CHECK(pfn % frames_per_unit_ == 0);
+  const auto slot = pfn / frames_per_unit_;
+  CMCP_CHECK(slot < capacity_);
+  return quarantined_[slot] != 0;
 }
 
 Asid FrameAllocator::owner_of(Pfn pfn) const {

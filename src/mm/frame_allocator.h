@@ -31,10 +31,28 @@ class FrameAllocator {
 
   void free(Pfn pfn);
 
+  /// Retire an allocated frame (ECC poison): it is uncharged from its owner
+  /// but never returns to the free list, shrinking usable capacity for the
+  /// rest of the run. Quarantined frames are neither free nor in use.
+  void quarantine(Pfn pfn);
+
+  bool is_quarantined(Pfn pfn) const;
+  std::uint64_t quarantined_count() const { return quarantined_count_; }
+  /// Frames the allocator can still serve: capacity minus the quarantine
+  /// list. FramePartition targets are recomputed against this after every
+  /// quarantine (core::MemoryManager::on_frames_quarantined).
+  std::uint64_t usable_capacity() const {
+    return capacity_ - quarantined_count_;
+  }
+
   std::uint64_t capacity() const { return capacity_; }
-  std::uint64_t in_use() const { return capacity_ - free_.size(); }
+  std::uint64_t in_use() const {
+    return capacity_ - free_.size() - quarantined_count_;
+  }
   std::uint64_t free_count() const { return free_.size(); }
   bool full() const { return free_.empty(); }
+
+  std::uint64_t frames_per_unit() const { return frames_per_unit_; }
 
   /// Frames currently charged to `owner`. Cheap: a counter, not a scan.
   std::uint64_t in_use_by(Asid owner) const {
@@ -61,6 +79,9 @@ class FrameAllocator {
   std::vector<Asid> owners_;
   /// Per-asid allocated-frame counts, grown on demand.
   std::vector<std::uint64_t> in_use_by_;
+  /// Retired (ECC-poisoned) slots: never free, never allocatable again.
+  std::vector<std::uint8_t> quarantined_;
+  std::uint64_t quarantined_count_ = 0;
 };
 
 }  // namespace cmcp::mm

@@ -13,7 +13,20 @@ FramePartition::FramePartition(PartitionKind kind, std::uint64_t capacity,
     : kind_(kind), capacity_(capacity), shares_(std::move(shares)) {
   CMCP_CHECK(capacity_ > 0);
   if (shares_.empty()) shares_.push_back(TenantShare{});
+  rebuild();
+}
 
+void FramePartition::set_capacity(std::uint64_t capacity) {
+  CMCP_CHECK(capacity > 0);
+  if (capacity == capacity_) return;
+  capacity_ = capacity;
+  // Floors were already clamped against the old capacity; re-clamping
+  // against a smaller one only shrinks them further, so repeated shrinks
+  // compose and nothing can underflow.
+  rebuild();
+}
+
+void FramePartition::rebuild() {
   // Clamp floors so they can always be honored: trim excess from the
   // highest asids first (deterministic, and earlier tenants are treated as
   // higher priority by convention).

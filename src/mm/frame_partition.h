@@ -58,6 +58,14 @@ class FramePartition {
 
   PartitionKind kind() const { return kind_; }
   std::uint64_t num_tenants() const { return shares_.size(); }
+  std::uint64_t capacity() const { return capacity_; }
+
+  /// Recompute floors and targets against a changed capacity — the
+  /// degradation path when quarantined frames shrink the allocator's usable
+  /// pool mid-run. Floors re-clamp against the new capacity (trimmed from
+  /// the highest asids; they never underflow) and proportional targets are
+  /// re-apportioned, so tenants shrink instead of crashing.
+  void set_capacity(std::uint64_t capacity);
 
   /// Guaranteed floor for `asid` (0 unless kStaticReserve).
   std::uint64_t reserve_of(Asid asid) const;
@@ -75,6 +83,9 @@ class FramePartition {
   Asid choose_victim_space(Asid asid, const FrameAllocator& alloc) const;
 
  private:
+  /// Clamp floors and apportion targets for the current capacity_.
+  void rebuild();
+
   PartitionKind kind_ = PartitionKind::kNone;
   std::uint64_t capacity_ = 0;
   std::vector<TenantShare> shares_;

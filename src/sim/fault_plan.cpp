@@ -1,0 +1,287 @@
+#include "sim/fault_plan.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/assert.h"
+
+namespace cmcp::sim {
+
+namespace {
+
+/// splitmix64 finalizer: the stateless straggler decision hash. Mirrors the
+/// mixer cmcp::Rng uses for seed expansion, so one seed drives well-spread,
+/// order-independent per-(core, window) decisions.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Uniform [0, 1) from a hash value (same construction as Rng::next_double).
+double unit_double(std::uint64_t x) {
+  return static_cast<double>(x >> 11) * 0x1.0p-53;
+}
+
+/// Shortest decimal form of `value` that parses back to the same double, so
+/// to_spec()/parse() round-trips are exact and specs stay readable.
+std::string fmt_double(double value) {
+  char buf[64];
+  for (int precision = 1; precision <= 17; ++precision) {
+    std::snprintf(buf, sizeof buf, "%.*g", precision, value);
+    if (std::strtod(buf, nullptr) == value) break;
+  }
+  return buf;
+}
+
+bool parse_uint(std::string_view text, std::uint64_t* out) {
+  if (text.empty()) return false;
+  std::uint64_t value = 0;
+  for (const char ch : text) {
+    if (ch < '0' || ch > '9') return false;
+    value = value * 10 + static_cast<std::uint64_t>(ch - '0');
+  }
+  *out = value;
+  return true;
+}
+
+bool parse_double(std::string_view text, double* out) {
+  if (text.empty()) return false;
+  const std::string copy(text);
+  char* end = nullptr;
+  const double value = std::strtod(copy.c_str(), &end);
+  if (end != copy.c_str() + copy.size()) return false;
+  if (value < 0.0 || value > 1.0) return false;  // rates are probabilities
+  *out = value;
+  return true;
+}
+
+}  // namespace
+
+std::string_view to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kPcieTransient: return "pcie-transient";
+    case FaultKind::kPcieSticky: return "pcie-sticky";
+    case FaultKind::kShootdownAck: return "shootdown-ack";
+    case FaultKind::kEccPoison: return "ecc-poison";
+    case FaultKind::kStraggler: return "straggler";
+  }
+  return "?";
+}
+
+Cycles FaultPlanConfig::backoff(unsigned attempt) const {
+  CMCP_CHECK(attempt >= 1);
+  const unsigned shift = std::min(attempt - 1, 62u);
+  Cycles value = backoff_base;
+  // Saturating shift: doubling past the cap cannot wrap.
+  for (unsigned i = 0; i < shift && value < backoff_cap; ++i) value <<= 1;
+  return std::min(value, backoff_cap);
+}
+
+std::string FaultPlanConfig::to_spec() const {
+  std::string spec = "seed=" + std::to_string(seed);
+  spec += ",pcie=" + fmt_double(pcie_transient_rate);
+  spec += ",sticky=" + fmt_double(pcie_sticky_rate);
+  spec += ",ack=" + fmt_double(shootdown_ack_rate);
+  spec += ",poison=" + std::to_string(poison_frames);
+  spec += ",straggler=" + fmt_double(straggler_rate);
+  const FaultPlanConfig defaults;
+  if (max_retries != defaults.max_retries)
+    spec += ",retries=" + std::to_string(max_retries);
+  if (backoff_base != defaults.backoff_base)
+    spec += ",backoff=" + std::to_string(backoff_base);
+  if (backoff_cap != defaults.backoff_cap)
+    spec += ",cap=" + std::to_string(backoff_cap);
+  if (link_reset_cycles != defaults.link_reset_cycles)
+    spec += ",reset=" + std::to_string(link_reset_cycles);
+  if (ecc_detect_cycles != defaults.ecc_detect_cycles)
+    spec += ",ecc=" + std::to_string(ecc_detect_cycles);
+  if (straggler_mult != defaults.straggler_mult)
+    spec += ",mult=" + std::to_string(straggler_mult);
+  if (straggler_window != defaults.straggler_window)
+    spec += ",window=" + std::to_string(straggler_window);
+  return spec;
+}
+
+bool FaultPlanConfig::parse(std::string_view spec, FaultPlanConfig* out) {
+  *out = FaultPlanConfig{};
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    const std::size_t comma = std::min(spec.find(',', pos), spec.size());
+    const std::string_view token = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (token.empty()) {
+      if (spec.empty()) break;  // an empty spec is the default (disabled) plan
+      return false;
+    }
+    const std::size_t eq = token.find('=');
+    if (eq == std::string_view::npos) return false;
+    const std::string_view key = token.substr(0, eq);
+    const std::string_view value = token.substr(eq + 1);
+    std::uint64_t u = 0;
+    if (key == "seed") {
+      if (!parse_uint(value, &out->seed)) return false;
+    } else if (key == "pcie") {
+      if (!parse_double(value, &out->pcie_transient_rate)) return false;
+    } else if (key == "sticky") {
+      if (!parse_double(value, &out->pcie_sticky_rate)) return false;
+    } else if (key == "ack") {
+      if (!parse_double(value, &out->shootdown_ack_rate)) return false;
+    } else if (key == "poison") {
+      if (!parse_uint(value, &out->poison_frames)) return false;
+    } else if (key == "straggler") {
+      if (!parse_double(value, &out->straggler_rate)) return false;
+    } else if (key == "retries") {
+      if (!parse_uint(value, &u) || u == 0) return false;
+      out->max_retries = static_cast<unsigned>(u);
+    } else if (key == "backoff") {
+      if (!parse_uint(value, &out->backoff_base)) return false;
+    } else if (key == "cap") {
+      if (!parse_uint(value, &out->backoff_cap)) return false;
+    } else if (key == "reset") {
+      if (!parse_uint(value, &out->link_reset_cycles)) return false;
+    } else if (key == "ecc") {
+      if (!parse_uint(value, &out->ecc_detect_cycles)) return false;
+    } else if (key == "mult") {
+      if (!parse_uint(value, &u) || u == 0) return false;
+      out->straggler_mult = static_cast<unsigned>(u);
+    } else if (key == "window") {
+      if (!parse_uint(value, &out->straggler_window) ||
+          out->straggler_window == 0)
+        return false;
+    } else {
+      return false;
+    }
+    if (comma == spec.size()) break;
+  }
+  return true;
+}
+
+FaultPlan::FaultPlan(const FaultPlanConfig& config)
+    : config_(config),
+      pcie_rng_(mix64(config.seed ^ 0x70636965ULL)),
+      ack_rng_(mix64(config.seed ^ 0x61636bULL)),
+      ecc_rng_(mix64(config.seed ^ 0x656363ULL)) {}
+
+FaultPlan::PcieDecision FaultPlan::next_pcie() {
+  common::LockGuard lock(mu_);
+  // One draw per transfer regardless of outcome keeps the decision stream
+  // aligned across rate changes of OTHER kinds.
+  const double r = pcie_rng_.next_double();
+  PcieDecision d;
+  if (r < config_.pcie_sticky_rate) {
+    d.failures = config_.max_retries;
+    d.sticky = true;
+  } else if (r < config_.pcie_sticky_rate + config_.pcie_transient_rate) {
+    d.failures = 1;
+  }
+  return d;
+}
+
+bool FaultPlan::next_ack_lost() {
+  common::LockGuard lock(mu_);
+  return ack_rng_.next_double() < config_.shootdown_ack_rate;
+}
+
+void FaultPlan::select_poison(std::uint64_t capacity_units,
+                              std::uint64_t frames_per_unit) {
+  common::LockGuard lock(mu_);
+  CMCP_CHECK(frames_per_unit > 0);
+  poison_.clear();
+  if (config_.poison_frames == 0 || capacity_units == 0) return;
+  // Keep at least one usable frame: a fully poisoned device is a config
+  // error, not a scenario the recovery protocol can degrade through.
+  const std::uint64_t count =
+      std::min(config_.poison_frames, capacity_units - 1);
+  std::vector<std::uint64_t> slots;
+  slots.reserve(count);
+  while (slots.size() < count) {
+    const std::uint64_t slot = ecc_rng_.next_below(capacity_units);
+    if (std::find(slots.begin(), slots.end(), slot) != slots.end()) continue;
+    slots.push_back(slot);
+  }
+  for (const std::uint64_t slot : slots) {
+    Poison p;
+    p.pfn = slot * frames_per_unit;
+    p.latent = ecc_rng_.next_double() < 0.5;
+    poison_.push_back(p);
+  }
+}
+
+bool FaultPlan::surfaces_at_alloc(Pfn pfn) {
+  common::LockGuard lock(mu_);
+  for (Poison& p : poison_) {
+    if (p.pfn != pfn || p.latent || p.surfaced) continue;
+    p.surfaced = true;
+    return true;
+  }
+  return false;
+}
+
+bool FaultPlan::surfaces_at_evict(Pfn pfn) {
+  common::LockGuard lock(mu_);
+  for (Poison& p : poison_) {
+    if (p.pfn != pfn || !p.latent || p.surfaced) continue;
+    p.surfaced = true;
+    return true;
+  }
+  return false;
+}
+
+unsigned FaultPlan::straggler_mult_at(CoreId core, Cycles now,
+                                      bool* window_start) {
+  *window_start = false;
+  if (config_.straggler_rate <= 0.0) return 1;
+  const std::uint64_t window = now / config_.straggler_window;
+  const std::uint64_t h =
+      mix64(config_.seed ^ mix64(0x73747261ULL + core) ^ mix64(window));
+  if (unit_double(h) >= config_.straggler_rate) return 1;
+  common::LockGuard lock(mu_);
+  if (core >= straggler_emitted_.size())
+    straggler_emitted_.resize(core + 1, ~std::uint64_t{0});
+  if (straggler_emitted_[core] != window) {
+    straggler_emitted_[core] = window;
+    *window_start = true;
+  }
+  return config_.straggler_mult;
+}
+
+void FaultPlan::count(FaultKind kind, Asid asid, std::uint64_t injected,
+                      Cycles recovery_cycles) {
+  stats_.injected[static_cast<unsigned>(kind)] += injected;
+  stats_.recovery_cycles += recovery_cycles;
+  if (asid >= stats_.per_asid_faults.size()) {
+    stats_.per_asid_faults.resize(asid + 1, 0);
+    stats_.per_asid_recovery.resize(asid + 1, 0);
+  }
+  stats_.per_asid_faults[asid] += injected;
+  stats_.per_asid_recovery[asid] += recovery_cycles;
+}
+
+void FaultPlan::record(FaultKind kind, Asid asid, std::uint64_t injected,
+                       std::uint64_t retries, bool gave_up,
+                       Cycles recovery_cycles) {
+  common::LockGuard lock(mu_);
+  count(kind, asid, injected, recovery_cycles);
+  stats_.retries += retries;
+  if (gave_up) ++stats_.give_ups;
+}
+
+void FaultPlan::record_quarantine() {
+  common::LockGuard lock(mu_);
+  ++stats_.frames_quarantined;
+}
+
+void FaultPlan::record_straggler_cycles(Cycles extra) {
+  common::LockGuard lock(mu_);
+  stats_.straggler_cycles += extra;
+}
+
+FaultStats FaultPlan::stats() const {
+  common::LockGuard lock(mu_);
+  return stats_;
+}
+
+}  // namespace cmcp::sim

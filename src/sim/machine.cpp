@@ -3,6 +3,7 @@
 #include <array>
 
 #include "common/assert.h"
+#include "sim/fault_plan.h"
 
 namespace cmcp::sim {
 
@@ -65,7 +66,70 @@ Cycles Machine::shootdown(CoreId initiator, Cycles now, const CoreMask& targets,
     for (const UnitIdx unit : units) target_tlb.invalidate(unit);
   });
 
-  return t.initiator_total();
+  Cycles extra = 0;
+  if (faults_ != nullptr) {
+    extra = inject_ack_faults(initiator, now + t.initiator_total(), targets,
+                              units[0], core_space_[initiator]);
+    init_ctr.cycles_shootdown += extra;
+  }
+  return t.initiator_total() + extra;
+}
+
+Cycles Machine::inject_ack_faults(CoreId initiator, Cycles ack_time,
+                                  const CoreMask& targets, UnitIdx unit,
+                                  Asid asid) {
+  const FaultPlanConfig& fc = faults_->config();
+  constexpr auto kAck = static_cast<std::uint64_t>(FaultKind::kShootdownAck);
+  metrics::CoreCounters& init_ctr = counters_[initiator];
+  Cycles extra = 0;
+  Cycles t = ack_time;
+  unsigned attempt = 0;
+  bool gave_up = false;
+  while (faults_->next_ack_lost()) {
+    ++attempt;
+    if (trace_ != nullptr)
+      trace_->emit({trace::EventKind::kFaultInject, initiator, t, 0, unit,
+                    kAck, attempt, 0, asid});
+    if (attempt >= fc.max_retries) {
+      // Budget exhausted: stop re-sending and poll remote TLB state
+      // directly. The invalidations were delivered with the first IPI round
+      // (re-sends are idempotent), so the poll observes them complete and
+      // TLB coherence holds.
+      const Cycles poll = fc.backoff(attempt);
+      if (trace_ != nullptr)
+        trace_->emit({trace::EventKind::kFaultGiveUp, initiator, t, poll,
+                      unit, kAck, attempt, 0, asid});
+      extra += poll;
+      gave_up = true;
+      break;
+    }
+    // Timeout (exponential backoff), then a re-sent IPI round. Receivers
+    // recognize the duplicate and ack without repeating PTE work, but still
+    // pay the interrupt.
+    const Cycles wait = fc.backoff(attempt);
+    if (trace_ != nullptr)
+      trace_->emit({trace::EventKind::kFaultRetry, initiator, t,
+                    wait + config_.cost.ipi_initiate, unit, kAck, attempt,
+                    wait, asid});
+    extra += wait + config_.cost.ipi_initiate;
+    t += wait + config_.cost.ipi_initiate;
+    targets.for_each([&](CoreId target) {
+      metrics::CoreCounters& ctr = counters_[target];
+      ++ctr.ipis_received;
+      ctr.cycles_interrupt += config_.cost.ipi_receive;
+      advance(target, config_.cost.ipi_receive);
+    });
+  }
+  if (attempt > 0) {
+    const unsigned retries = attempt - (gave_up ? 1u : 0u);
+    init_ctr.faults_injected += attempt;
+    init_ctr.fault_retries += retries;
+    if (gave_up) ++init_ctr.fault_give_ups;
+    init_ctr.cycles_recovery += extra;
+    faults_->record(FaultKind::kShootdownAck, asid, attempt, retries, gave_up,
+                    extra);
+  }
+  return extra;
 }
 
 Cycles Machine::hw_invalidate(CoreId initiator, Cycles now,
@@ -151,7 +215,69 @@ Cycles Machine::shootdown_batch(CoreId initiator, Cycles now,
     trace_->emit({trace::EventKind::kShootdown, initiator, now, initiator_cost,
                   kInvalidUnit, num_targets, items.size(), t.lock_wait,
                   space_of_targets(union_targets)});
-  return initiator_cost;
+  Cycles extra = 0;
+  if (faults_ != nullptr) {
+    extra = inject_ack_faults(initiator, now + initiator_cost, union_targets,
+                              kInvalidUnit, core_space_[initiator]);
+    init_ctr.cycles_shootdown += extra;
+  }
+  return initiator_cost + extra;
+}
+
+Machine::PcieTransferResult Machine::pcie_transfer(CoreId core, PcieDir dir,
+                                                   Cycles ready_at,
+                                                   std::uint64_t bytes,
+                                                   UnitIdx unit, Asid asid) {
+  PcieTransferResult r;
+  if (faults_ == nullptr) {
+    r.done = pcie_.transfer(dir, ready_at, bytes, &r.queue_wait);
+  } else {
+    const PcieTransferOutcome out =
+        pcie_.transfer_with_faults(dir, ready_at, bytes, *faults_);
+    r.done = out.done;
+    r.queue_wait = out.queue_wait;
+    r.recovery = out.recovery;
+    r.failures = out.failures;
+    r.gave_up = out.gave_up;
+    if (out.failures > 0) {
+      const FaultPlanConfig& fc = faults_->config();
+      const FaultKind kind = out.gave_up ? FaultKind::kPcieSticky
+                                         : FaultKind::kPcieTransient;
+      const auto kind_ord = static_cast<std::uint64_t>(kind);
+      const unsigned retries = out.failures - (out.gave_up ? 1u : 0u);
+      metrics::CoreCounters& ctr = counters_[core];
+      ctr.faults_injected += out.failures;
+      ctr.fault_retries += retries;
+      if (out.gave_up) ++ctr.fault_give_ups;
+      ctr.cycles_recovery += out.recovery;
+      if (trace_ != nullptr) {
+        Cycles t = out.start;
+        for (unsigned attempt = 1; attempt <= out.failures; ++attempt) {
+          trace_->emit({trace::EventKind::kFaultInject, core, t,
+                        out.attempt_cost, unit, kind_ord, attempt, 0, asid});
+          t += out.attempt_cost;
+          if (out.gave_up && attempt == out.failures) {
+            trace_->emit({trace::EventKind::kFaultGiveUp, core, t,
+                          fc.link_reset_cycles, unit, kind_ord, attempt, 0,
+                          asid});
+            t += fc.link_reset_cycles;
+          } else {
+            const Cycles wait = fc.backoff(attempt);
+            trace_->emit({trace::EventKind::kFaultRetry, core, t, wait, unit,
+                          kind_ord, attempt, wait, asid});
+            t += wait;
+          }
+        }
+      }
+      faults_->record(kind, asid, out.failures, retries, out.gave_up,
+                      out.recovery);
+    }
+  }
+  if (trace_ != nullptr)
+    trace_->emit({trace::EventKind::kPcieTransfer, core, ready_at,
+                  r.done - ready_at, unit, static_cast<std::uint64_t>(dir),
+                  bytes, r.queue_wait, asid});
+  return r;
 }
 
 metrics::CoreCounters Machine::aggregate_app_counters() const {

@@ -94,6 +94,27 @@ class Machine {
   void set_trace(trace::EventSink* sink) { trace_ = sink; }
   trace::EventSink* trace() const { return trace_; }
 
+  /// Attach/detach the fault-injection plan (sim/fault_plan.h). Null (the
+  /// default) is the perfect machine: every guarded site takes the exact
+  /// pre-fault code path.
+  void set_fault_plan(FaultPlan* plan) { faults_ = plan; }
+  FaultPlan* fault_plan() const { return faults_; }
+
+  /// One PCIe transfer routed through the fault plan (when attached),
+  /// emitting the kPcieTransfer trace event plus any fault/retry/give-up
+  /// events. With no plan this is exactly pcie().transfer() + the same
+  /// event the call sites used to emit inline — byte-identical traces.
+  struct PcieTransferResult {
+    Cycles done = 0;
+    Cycles queue_wait = 0;
+    Cycles recovery = 0;    ///< extra cycles the fault path cost
+    unsigned failures = 0;  ///< injected failures (0 = clean transfer)
+    bool gave_up = false;
+  };
+  PcieTransferResult pcie_transfer(CoreId core, PcieDir dir, Cycles ready_at,
+                                   std::uint64_t bytes, UnitIdx unit,
+                                   Asid asid);
+
   /// Perform a remote TLB shootdown of `units` on all cores in `targets`
   /// (the initiator must not be in the mask). Invalidates the receivers'
   /// TLB entries, charges interrupt cost to the receivers, and returns the
@@ -138,6 +159,16 @@ class Machine {
                        std::span<const UnitIdx> units)
       CMCP_REQUIRES(shootdown_mu_);
 
+  /// Lost-acknowledgement injection for one completed IPI round. Each lost
+  /// ack costs the initiator an exponential-backoff timeout plus a re-sent
+  /// (idempotent) IPI round that interrupts every receiver again; at the
+  /// retry budget the initiator gives up on acks and polls remote state
+  /// directly. Returns the extra initiator cycles. Runs with the slot held
+  /// (it models the initiator still occupying the invalidation request).
+  Cycles inject_ack_faults(CoreId initiator, Cycles ack_time,
+                           const CoreMask& targets, UnitIdx unit, Asid asid)
+      CMCP_REQUIRES(shootdown_mu_);
+
   MachineConfig config_;
   // Per-core state (clocks, TLBs, counters) is sharded by core id: the
   // current engine runs one thread, and the parallel engine will keep each
@@ -155,6 +186,7 @@ class Machine {
   mutable common::Mutex shootdown_mu_;
   Interconnect interconnect_ CMCP_GUARDED_BY(shootdown_mu_);
   trace::EventSink* trace_ = nullptr;  ///< non-owning; null = disabled
+  FaultPlan* faults_ = nullptr;        ///< non-owning; null = perfect machine
 };
 
 }  // namespace cmcp::sim

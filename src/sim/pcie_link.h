@@ -21,9 +21,23 @@
 
 namespace cmcp::sim {
 
+class FaultPlan;
+
 enum class PcieDir : std::uint8_t {
   kHostToDevice = 0,  ///< page fetch
   kDeviceToHost = 1,  ///< dirty write-back
+};
+
+/// Completion record of a fault-aware transfer. With zero failures it is
+/// arithmetic-identical to the plain transfer() path.
+struct PcieTransferOutcome {
+  Cycles done = 0;          ///< completion time of the (final) attempt
+  Cycles queue_wait = 0;    ///< wait for the channel before the first attempt
+  Cycles start = 0;         ///< first attempt's start time
+  Cycles attempt_cost = 0;  ///< setup + payload cycles of one attempt
+  Cycles recovery = 0;      ///< extra cycles beyond a clean transfer
+  unsigned failures = 0;    ///< failed attempts before the data landed
+  bool gave_up = false;     ///< retry budget exhausted; link reset taken
 };
 
 class PcieLink {
@@ -34,6 +48,16 @@ class PcieLink {
   /// time; `*queue_wait` receives the cycles spent waiting for the channel.
   Cycles transfer(PcieDir dir, Cycles ready_at, std::uint64_t bytes,
                   Cycles* queue_wait) CMCP_EXCLUDES(mu_);
+
+  /// transfer() with `plan` deciding whether this transfer fails. Failed
+  /// attempts and their backoff gaps occupy the channel (the descriptor
+  /// holds its slot until the replay lands); a sticky failure exhausts the
+  /// retry budget, resets the link, and then completes. The simulated
+  /// protocol always delivers the data — what faults cost is time.
+  PcieTransferOutcome transfer_with_faults(PcieDir dir, Cycles ready_at,
+                                           std::uint64_t bytes,
+                                           FaultPlan& plan)
+      CMCP_EXCLUDES(mu_);
 
   std::uint64_t bytes_moved(PcieDir dir) const CMCP_EXCLUDES(mu_) {
     common::LockGuard lock(mu_);

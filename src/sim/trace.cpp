@@ -113,6 +113,10 @@ std::string_view to_string(EventKind kind) {
     case EventKind::kPcieTransfer: return "pcie_transfer";
     case EventKind::kScanPass: return "scan_pass";
     case EventKind::kBarrierWait: return "barrier_wait";
+    case EventKind::kFaultInject: return "fault_inject";
+    case EventKind::kFaultRetry: return "fault_retry";
+    case EventKind::kFaultGiveUp: return "fault_give_up";
+    case EventKind::kQuarantine: return "quarantine";
   }
   return "?";
 }
@@ -128,6 +132,12 @@ std::array<std::string_view, 3> arg_names(EventKind kind) {
     case EventKind::kPcieTransfer: return {"dir", "bytes", "queue_wait"};
     case EventKind::kScanPass: return {"pages", "cleared", "flush_rounds"};
     case EventKind::kBarrierWait: return {"", "", ""};
+    // "fault" is a sim::FaultKind ordinal; "detail" is the poisoned pfn for
+    // ECC injects and the cost multiplier for straggler windows.
+    case EventKind::kFaultInject: return {"fault", "attempt", "detail"};
+    case EventKind::kFaultRetry: return {"fault", "attempt", "backoff"};
+    case EventKind::kFaultGiveUp: return {"fault", "attempts", ""};
+    case EventKind::kQuarantine: return {"pfn", "usable_capacity", ""};
   }
   return {"", "", ""};
 }

@@ -43,9 +43,16 @@ enum class EventKind : std::uint8_t {
   kPcieTransfer,     ///< one queued transfer on the PCIe link
   kScanPass,         ///< one access-bit scanner sweep
   kBarrierWait,      ///< core idle at a workload barrier
+  // Fault-injection protocol (sim/fault_plan.h). Appended after the schema-1
+  // kinds: a run with faults disabled emits none of them, and the JSONL
+  // summary omits zero-count kinds, so no-fault traces stay byte-identical.
+  kFaultInject,      ///< one injected fault (kind-specific payload)
+  kFaultRetry,       ///< bounded retry after a failure, with backoff
+  kFaultGiveUp,      ///< retry budget exhausted; fallback path taken
+  kQuarantine,       ///< poisoned frame retired from the allocator
 };
 
-inline constexpr unsigned kNumEventKinds = 9;
+inline constexpr unsigned kNumEventKinds = 13;
 
 std::string_view to_string(EventKind kind);
 

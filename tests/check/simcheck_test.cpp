@@ -247,13 +247,76 @@ TEST(SimCheck, ClockCheckerCatchesRegression) {
   EXPECT_EQ(captured[0].core, 0u);
 }
 
-TEST(SimCheck, DefaultSuiteRegistersSixCheckers) {
+TEST(SimCheck, QuarantineCheckerCatchesLeakedFrame) {
+  // Quarantine a RESIDENT frame directly in the allocator — bypassing the
+  // recovery protocol (no registry removal, no partition recompute). The
+  // frame-quarantine checker must flag both the resident page still sitting
+  // on the retired frame and the partition's stale capacity.
+  std::vector<wl::Op> script = {wl::Op::access(0, false, 16)};
+  ScriptedWorkload w(1, 16, {script});
+  core::SimulationConfig config;
+  config.machine.num_cores = 1;
+  config.memory_fraction = 0.5;
+  core::Simulation sim(config, w);
+  sim.run();
+  std::vector<CheckViolation> captured;
+  sim.check_registry()->set_handler(
+      [&](const CheckViolation& v) {
+        if (v.checker == "frame-quarantine") captured.push_back(v);
+      });
+  sim.check_registry()->run_now(CheckPoint::kEndOfRun);
+  EXPECT_TRUE(captured.empty());
+  Pfn resident = kInvalidPfn;
+  sim.memory_manager().registry().for_each(
+      [&](const mm::ResidentPage& pg) { resident = pg.pfn; });
+  ASSERT_NE(resident, kInvalidPfn);
+  sim.memory_manager().mutable_allocator_for_test().quarantine(resident);
+  sim.check_registry()->run_now(CheckPoint::kEndOfRun);
+  ASSERT_FALSE(captured.empty());
+  bool saw_resident = false, saw_stale = false;
+  for (const CheckViolation& v : captured) {
+    if (v.invariant == "resident-on-quarantined") saw_resident = true;
+    if (v.invariant == "stale-partition-capacity") saw_stale = true;
+  }
+  EXPECT_TRUE(saw_resident);
+  EXPECT_TRUE(saw_stale);
+}
+
+TEST(SimCheck, HealthyFaultInjectedRunReportsNoViolations) {
+  // Full fault mix under a tight memory constraint: the recovery protocol
+  // (retries, quarantines, re-allocation) must leave every invariant —
+  // including the new frame-quarantine checks — intact at every sweep.
+  std::vector<wl::Op> script = {wl::Op::access(0, true, 32),
+                                wl::Op::barrier(),
+                                wl::Op::access(0, false, 32)};
+  ScriptedWorkload w(2, 32, {script, script});
+  core::SimulationConfig config;
+  config.machine.num_cores = 2;
+  config.policy.kind = PolicyKind::kCmcp;
+  config.memory_fraction = 0.5;
+  ASSERT_TRUE(sim::FaultPlanConfig::parse(
+      "seed=5,pcie=0.05,sticky=0.02,ack=0.05,poison=2,straggler=0.1",
+      &config.faults));
+  core::Simulation sim(config, w);
+  std::vector<CheckViolation> captured;
+  sim.check_registry()->set_handler(
+      [&](const CheckViolation& v) { captured.push_back(v); });
+  sim.check_registry()->set_stride(CheckPoint::kAfterFault, 1);
+  sim.check_registry()->set_stride(CheckPoint::kAfterEviction, 1);
+  sim.run();
+  EXPECT_GT(sim.check_registry()->sweeps(), 0u);
+  EXPECT_TRUE(captured.empty())
+      << captured.size() << " violations, first: " << captured[0].checker
+      << "/" << captured[0].invariant << ": " << captured[0].message;
+}
+
+TEST(SimCheck, DefaultSuiteRegistersSevenCheckers) {
   ScriptedWorkload w(1, 4, {{wl::Op::access(0, false, 4)}});
   core::SimulationConfig config;
   config.machine.num_cores = 1;
   core::Simulation sim(config, w);
   ASSERT_NE(sim.check_registry(), nullptr);
-  EXPECT_EQ(sim.check_registry()->num_checkers(), 6u);
+  EXPECT_EQ(sim.check_registry()->num_checkers(), 7u);
 }
 
 #endif  // CMCP_SIMCHECK_ENABLED

@@ -346,5 +346,78 @@ TEST(TraceLint, CheckedInCorruptMultiTenantFixtureFails) {
   for (const LintIssue& issue : result.issues) EXPECT_GT(issue.line, 0u);
 }
 
+// --- fault-injected traces --------------------------------------------------
+
+/// traced_run with a FaultPlan attached; the meta header carries the
+/// fault_max_retries the give-up rule checks against.
+std::string traced_fault_run(const std::string& spec) {
+  sim::trace::EventSink sink;
+  std::vector<wl::Op> script = {wl::Op::access(0, true, 32),
+                                wl::Op::barrier(),
+                                wl::Op::access(0, false, 32)};
+  ScriptedWorkload w(2, 32, {script, script});
+  core::SimulationConfig config;
+  config.machine.num_cores = 2;
+  config.policy.kind = PolicyKind::kCmcp;
+  config.memory_fraction = 0.5;
+  config.trace = &sink;
+  EXPECT_TRUE(sim::FaultPlanConfig::parse(spec, &config.faults));
+  core::Simulation sim(config, w);
+  const auto result = sim.run();
+  std::ostringstream os;
+  sim::trace::export_jsonl(
+      sink,
+      {{"faults", config.faults.to_spec()},
+       {"fault_max_retries", std::to_string(config.faults.max_retries)}},
+      {{"evictions", result.app_total.evictions}}, os);
+  return os.str();
+}
+
+TEST(TraceLint, CleanFaultTraceLintsClean) {
+  // A heavy mix (transient + sticky PCIe, ECC poison): every injected
+  // failure must pair with its retries/give-ups and every quarantine must
+  // be final, or the simulator's own recovery emission is broken.
+  const std::string text =
+      traced_fault_run("seed=7,pcie=0.2,sticky=0.05,poison=2");
+  EXPECT_NE(text.find("\"kind\":\"fault_inject\""), std::string::npos);
+  const LintResult result = lint_string(text);
+  EXPECT_TRUE(result.ok()) << result.issues.size() << " issues, first: "
+                           << (result.ok() ? std::string()
+                                           : result.issues[0].rule + ": " +
+                                                 result.issues[0].message);
+}
+
+TEST(TraceLint, DroppedInjectIsRetryWithoutFailure) {
+  std::string text = traced_fault_run("seed=7,pcie=0.3");
+  ASSERT_TRUE(drop_first_line(text, "\"kind\":\"fault_inject\""));
+  const auto rules = rules_of(lint_string(text));
+  EXPECT_TRUE(contains(rules, "retry-without-failure"));
+}
+
+TEST(TraceLint, EarlyGiveUpIsCaught) {
+  // Shrink a sticky give-up's attempt count below the declared budget.
+  std::string text = traced_fault_run("seed=11,sticky=0.2");
+  const std::string give_up = first_line(text, "\"kind\":\"fault_give_up\"");
+  ASSERT_FALSE(give_up.empty());
+  std::string early = give_up;
+  const std::size_t pos = early.find("\"attempts\":6");
+  ASSERT_NE(pos, std::string::npos);
+  early.replace(pos, 12, "\"attempts\":2");
+  text.replace(text.find(give_up), give_up.size(), early);
+  EXPECT_TRUE(
+      contains(rules_of(lint_string(text)), "give-up-without-max-retries"));
+}
+
+TEST(TraceLint, CheckedInCorruptFaultFixtureFails) {
+  const LintResult result = lint_trace_file(
+      std::string(CMCP_TEST_DATA_DIR) + "/corrupt_fault_trace.jsonl");
+  ASSERT_FALSE(result.ok());
+  const auto rules = rules_of(result);
+  EXPECT_TRUE(contains(rules, "retry-without-failure"));
+  EXPECT_TRUE(contains(rules, "give-up-without-max-retries"));
+  EXPECT_TRUE(contains(rules, "fill-from-quarantined-frame"));
+  for (const LintIssue& issue : result.issues) EXPECT_GT(issue.line, 0u);
+}
+
 }  // namespace
 }  // namespace cmcp::check

@@ -64,6 +64,53 @@ TEST(FrameAllocator, ChurnNeverLosesFrames) {
   }
 }
 
+TEST(FrameAllocator, QuarantineRetiresFrameForTheRun) {
+  FrameAllocator alloc(2, PageSizeClass::k4K);
+  const Pfn a = alloc.allocate();
+  const Pfn b = alloc.allocate();
+  alloc.quarantine(a);
+  EXPECT_TRUE(alloc.is_quarantined(a));
+  EXPECT_FALSE(alloc.is_quarantined(b));
+  EXPECT_EQ(alloc.quarantined_count(), 1u);
+  EXPECT_EQ(alloc.usable_capacity(), 1u);
+  // Quarantined frames are neither free nor in use, and carry no owner.
+  EXPECT_EQ(alloc.in_use(), 1u);
+  EXPECT_EQ(alloc.free_count(), 0u);
+  EXPECT_EQ(alloc.owner_of(a), kInvalidAsid);
+  // The retired frame never comes back: the pool is exhausted at 1 frame.
+  EXPECT_EQ(alloc.allocate(), kInvalidPfn);
+  alloc.free(b);
+  EXPECT_EQ(alloc.allocate(), b);
+}
+
+TEST(FrameAllocator, TenantExitSkipsQuarantinedFrames) {
+  // Quarantine-then-tenant-exit: release_all must reclaim only the frames
+  // still charged to the tenant — a quarantined frame was already uncharged
+  // and must NOT return to the free pool with ECC poison on it.
+  FrameAllocator alloc(4, PageSizeClass::k4K);
+  const Pfn a = alloc.allocate(1);
+  const Pfn b = alloc.allocate(1);
+  const Pfn c = alloc.allocate(1);
+  alloc.quarantine(b);
+  EXPECT_EQ(alloc.in_use_by(1), 2u);
+  EXPECT_EQ(alloc.release_all(1), 2u);
+  EXPECT_EQ(alloc.in_use_by(1), 0u);
+  EXPECT_EQ(alloc.in_use(), 0u);
+  EXPECT_TRUE(alloc.is_quarantined(b));
+  EXPECT_EQ(alloc.usable_capacity(), 3u);
+  // Only the 3 usable frames are servable after the exit.
+  std::set<Pfn> served;
+  for (int i = 0; i < 3; ++i) {
+    const Pfn pfn = alloc.allocate();
+    ASSERT_NE(pfn, kInvalidPfn);
+    served.insert(pfn);
+  }
+  EXPECT_EQ(alloc.allocate(), kInvalidPfn);
+  EXPECT_EQ(served.count(b), 0u) << "quarantined frame re-served";
+  EXPECT_EQ(served.count(a), 1u);
+  EXPECT_EQ(served.count(c), 1u);
+}
+
 TEST(FrameAllocatorDeath, DoubleFreeAborts) {
   FrameAllocator alloc(2, PageSizeClass::k4K);
   const Pfn pfn = alloc.allocate();
@@ -74,6 +121,20 @@ TEST(FrameAllocatorDeath, DoubleFreeAborts) {
 TEST(FrameAllocatorDeath, MisalignedFreeAborts) {
   FrameAllocator alloc(2, PageSizeClass::k64K);
   EXPECT_DEATH(alloc.free(3), "");
+}
+
+TEST(FrameAllocatorDeath, QuarantineOfFreeFrameAborts) {
+  FrameAllocator alloc(2, PageSizeClass::k4K);
+  const Pfn pfn = alloc.allocate();
+  alloc.free(pfn);
+  EXPECT_DEATH(alloc.quarantine(pfn), "");
+}
+
+TEST(FrameAllocatorDeath, FreeOfQuarantinedFrameAborts) {
+  FrameAllocator alloc(2, PageSizeClass::k4K);
+  const Pfn pfn = alloc.allocate();
+  alloc.quarantine(pfn);
+  EXPECT_DEATH(alloc.free(pfn), "");
 }
 
 }  // namespace

@@ -174,6 +174,61 @@ TEST(FramePartition, ProportionalVictimNeedsResidentFrames) {
   EXPECT_EQ(part.choose_victim_space(0, alloc), 0u);
 }
 
+// --- shrunk capacity (quarantine degradation path) --------------------------
+
+TEST(FramePartition, SetCapacityReclampsFloorsFromHighestAsid) {
+  // Quarantine shrinks usable capacity below the sum of the floors: the
+  // re-clamp trims the highest asid first, never underflows, and repeated
+  // shrinks compose.
+  FramePartition part(PartitionKind::kStaticReserve, 10,
+                      {{.reserve_units = 4}, {.reserve_units = 4}});
+  part.set_capacity(6);
+  EXPECT_EQ(part.reserve_of(0), 4u);
+  EXPECT_EQ(part.reserve_of(1), 2u);
+  part.set_capacity(3);  // below even tenant 0's floor
+  EXPECT_EQ(part.reserve_of(0), 3u);
+  EXPECT_EQ(part.reserve_of(1), 0u);
+  part.set_capacity(1);
+  EXPECT_EQ(part.reserve_of(0), 1u);
+  EXPECT_EQ(part.reserve_of(1), 0u);
+}
+
+TEST(FramePartition, SetCapacityReapportionsProportionalTargets) {
+  FramePartition part(PartitionKind::kProportionalShare, 9,
+                      {{.weight = 2}, {.weight = 1}});
+  EXPECT_EQ(part.target_of(0), 6u);
+  EXPECT_EQ(part.target_of(1), 3u);
+  part.set_capacity(7);  // two frames quarantined away
+  EXPECT_EQ(part.target_of(0) + part.target_of(1), 7u);
+  EXPECT_EQ(part.target_of(0), 5u);  // 14/3 = 4.67 -> 4 + remainder frame
+  EXPECT_EQ(part.target_of(1), 2u);
+}
+
+TEST(FramePartition, ShrunkStaticReserveStillAdmitsAndEvictsSanely) {
+  // After the shrink both tenants' floors fit the new capacity exactly; the
+  // tenant over its (trimmed) floor is the victim, and nobody is admitted
+  // past a full allocator.
+  FramePartition part(PartitionKind::kStaticReserve, 8,
+                      {{.reserve_units = 4}, {.reserve_units = 4}});
+  FrameAllocator alloc = make_alloc(8);
+  const auto a = take(alloc, 0, 4);
+  const auto b = take(alloc, 1, 4);
+  alloc.quarantine(b[3]);  // tenant 1 drops to 3 frames, capacity to 7
+  part.set_capacity(alloc.usable_capacity());
+  EXPECT_EQ(part.reserve_of(0), 4u);
+  EXPECT_EQ(part.reserve_of(1), 3u);
+  // Tenant 1 sits under its original floor but AT the trimmed one; with no
+  // free frames nobody may allocate and the over-floor logic stays sane.
+  EXPECT_FALSE(part.may_allocate(0, alloc));
+  EXPECT_FALSE(part.may_allocate(1, alloc));
+  alloc.free(a[0]);
+  // Tenant 0 is now under its floor: the lone free frame is earmarked for
+  // it, so tenant 1 stays cut off while tenant 0 is admitted.
+  EXPECT_TRUE(part.may_allocate(0, alloc));
+  EXPECT_FALSE(part.may_allocate(1, alloc));
+  (void)part.choose_victim_space(1, alloc);  // must not crash or underflow
+}
+
 TEST(FramePartition, NoneAlwaysSelfEvicts) {
   FramePartition part(PartitionKind::kNone, 4, {{}, {}});
   FrameAllocator alloc = make_alloc(4);

@@ -1,0 +1,275 @@
+// FaultPlan unit tests: spec round-tripping, the backoff formula, poison
+// selection, decision-stream determinism, and the fault-aware PCIe transfer
+// degenerating to the plain path when nothing fails.
+#include "sim/fault_plan.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "sim/pcie_link.h"
+
+namespace cmcp::sim {
+namespace {
+
+TEST(FaultPlanConfig, DefaultIsDisabled) {
+  const FaultPlanConfig config;
+  EXPECT_FALSE(config.enabled());
+}
+
+TEST(FaultPlanConfig, AnyRateOrPoisonEnables) {
+  FaultPlanConfig config;
+  config.pcie_transient_rate = 0.01;
+  EXPECT_TRUE(config.enabled());
+  config = FaultPlanConfig{};
+  config.poison_frames = 1;
+  EXPECT_TRUE(config.enabled());
+  config = FaultPlanConfig{};
+  config.straggler_rate = 0.5;
+  EXPECT_TRUE(config.enabled());
+}
+
+TEST(FaultPlanConfig, SpecRoundTripsThroughParse) {
+  FaultPlanConfig config;
+  config.seed = 42;
+  config.pcie_transient_rate = 0.01;
+  config.pcie_sticky_rate = 0.002;
+  config.shootdown_ack_rate = 0.05;
+  config.poison_frames = 3;
+  config.straggler_rate = 0.1;
+  config.max_retries = 4;
+  config.backoff_base = 1000;
+  config.straggler_window = 500'000;
+  const std::string spec = config.to_spec();
+  FaultPlanConfig parsed;
+  ASSERT_TRUE(FaultPlanConfig::parse(spec, &parsed));
+  EXPECT_EQ(parsed.to_spec(), spec);
+  EXPECT_EQ(parsed.seed, 42u);
+  EXPECT_EQ(parsed.pcie_transient_rate, 0.01);
+  EXPECT_EQ(parsed.pcie_sticky_rate, 0.002);
+  EXPECT_EQ(parsed.shootdown_ack_rate, 0.05);
+  EXPECT_EQ(parsed.poison_frames, 3u);
+  EXPECT_EQ(parsed.straggler_rate, 0.1);
+  EXPECT_EQ(parsed.max_retries, 4u);
+  EXPECT_EQ(parsed.backoff_base, 1000u);
+  EXPECT_EQ(parsed.straggler_window, 500'000u);
+}
+
+TEST(FaultPlanConfig, DefaultKnobsAreOmittedFromSpec) {
+  FaultPlanConfig config;
+  config.seed = 7;
+  config.pcie_transient_rate = 0.01;
+  EXPECT_EQ(config.to_spec(),
+            "seed=7,pcie=0.01,sticky=0,ack=0,poison=0,straggler=0");
+}
+
+TEST(FaultPlanConfig, ParseRejectsGarbage) {
+  FaultPlanConfig out;
+  EXPECT_FALSE(FaultPlanConfig::parse("bogus=1", &out));
+  EXPECT_FALSE(FaultPlanConfig::parse("pcie=notanumber", &out));
+  EXPECT_FALSE(FaultPlanConfig::parse("pcie=1.5", &out));  // rate > 1
+  EXPECT_FALSE(FaultPlanConfig::parse("seed=", &out));
+  EXPECT_FALSE(FaultPlanConfig::parse("retries=0", &out));
+  EXPECT_FALSE(FaultPlanConfig::parse(",,", &out));
+  // The empty spec is the default (disabled) plan.
+  EXPECT_TRUE(FaultPlanConfig::parse("", &out));
+  EXPECT_FALSE(out.enabled());
+}
+
+TEST(FaultPlanConfig, BackoffDoublesThenSaturates) {
+  FaultPlanConfig config;  // base 2000, cap 1'000'000
+  EXPECT_EQ(config.backoff(1), 2'000u);
+  EXPECT_EQ(config.backoff(2), 4'000u);
+  EXPECT_EQ(config.backoff(3), 8'000u);
+  EXPECT_EQ(config.backoff(10), 1'000'000u);  // 2000 << 9 would exceed cap
+  EXPECT_EQ(config.backoff(63), 1'000'000u);  // far past cap: no overflow
+  EXPECT_EQ(config.backoff(200), 1'000'000u);
+}
+
+TEST(FaultPlan, DecisionStreamsAreSeedDeterministic) {
+  FaultPlanConfig config;
+  config.seed = 9;
+  config.pcie_transient_rate = 0.3;
+  config.pcie_sticky_rate = 0.1;
+  config.shootdown_ack_rate = 0.2;
+  FaultPlan a(config);
+  FaultPlan b(config);
+  for (int i = 0; i < 200; ++i) {
+    const FaultPlan::PcieDecision da = a.next_pcie();
+    const FaultPlan::PcieDecision db = b.next_pcie();
+    EXPECT_EQ(da.failures, db.failures);
+    EXPECT_EQ(da.sticky, db.sticky);
+    EXPECT_EQ(a.next_ack_lost(), b.next_ack_lost());
+  }
+}
+
+TEST(FaultPlan, StickyDecisionExhaustsTheBudget) {
+  FaultPlanConfig config;
+  config.pcie_sticky_rate = 1.0;
+  FaultPlan plan(config);
+  const FaultPlan::PcieDecision d = plan.next_pcie();
+  EXPECT_TRUE(d.sticky);
+  EXPECT_EQ(d.failures, config.max_retries);
+}
+
+TEST(FaultPlan, SelectPoisonDrawsDistinctAlignedFrames) {
+  FaultPlanConfig config;
+  config.seed = 3;
+  config.poison_frames = 5;
+  FaultPlan plan(config);
+  plan.select_poison(16, 16);  // 64 kB layout: pfns are multiples of 16
+  std::set<Pfn> hit;
+  for (std::uint64_t slot = 0; slot < 16; ++slot) {
+    const Pfn pfn = slot * 16;
+    if (plan.surfaces_at_alloc(pfn) || plan.surfaces_at_evict(pfn))
+      hit.insert(pfn);
+  }
+  EXPECT_EQ(hit.size(), 5u);
+  for (const Pfn pfn : hit) EXPECT_EQ(pfn % 16, 0u);
+}
+
+TEST(FaultPlan, PoisonClampedToLeaveOneUsableFrame) {
+  FaultPlanConfig config;
+  config.poison_frames = 100;
+  FaultPlan plan(config);
+  plan.select_poison(4, 1);
+  unsigned poisoned = 0;
+  for (Pfn pfn = 0; pfn < 4; ++pfn)
+    if (plan.surfaces_at_alloc(pfn) || plan.surfaces_at_evict(pfn)) ++poisoned;
+  EXPECT_EQ(poisoned, 3u);  // capacity - 1, never the whole device
+}
+
+TEST(FaultPlan, PoisonSurfacesExactlyOnce) {
+  FaultPlanConfig config;
+  config.poison_frames = 3;  // clamped to 1 by capacity 2
+  FaultPlan plan(config);
+  plan.select_poison(2, 1);
+  Pfn poisoned = kInvalidPfn;
+  bool at_alloc = false;
+  for (Pfn pfn = 0; pfn < 2; ++pfn) {
+    if (plan.surfaces_at_alloc(pfn)) { poisoned = pfn; at_alloc = true; }
+    else if (plan.surfaces_at_evict(pfn)) { poisoned = pfn; }
+  }
+  ASSERT_NE(poisoned, kInvalidPfn);
+  // Consumed: neither path reports the same frame again.
+  EXPECT_FALSE(plan.surfaces_at_alloc(poisoned));
+  EXPECT_FALSE(plan.surfaces_at_evict(poisoned));
+  (void)at_alloc;
+}
+
+TEST(FaultPlan, StragglerDecisionIsAPureHash) {
+  FaultPlanConfig config;
+  config.seed = 11;
+  config.straggler_rate = 0.5;
+  FaultPlan plan(config);
+  // Find an afflicted (core, window) pair, then re-query out of order: the
+  // multiplier must not depend on query history.
+  for (CoreId core = 0; core < 4; ++core) {
+    for (std::uint64_t w = 0; w < 8; ++w) {
+      const Cycles now = w * config.straggler_window + 17;
+      bool start = false;
+      const unsigned first = plan.straggler_mult_at(core, now, &start);
+      bool again = false;
+      EXPECT_EQ(plan.straggler_mult_at(core, now, &again), first);
+      if (first > 1) {
+        EXPECT_TRUE(start);           // first query of the window
+        EXPECT_FALSE(again);          // emitted exactly once per window
+        EXPECT_EQ(first, config.straggler_mult);
+      }
+    }
+  }
+}
+
+TEST(FaultPlan, StatsAggregateAcrossKindsAndTenants) {
+  FaultPlanConfig config;
+  config.pcie_transient_rate = 0.1;
+  FaultPlan plan(config);
+  plan.record(FaultKind::kPcieTransient, 0, 2, 2, false, 1'000);
+  plan.record(FaultKind::kShootdownAck, 1, 1, 3, true, 5'000);
+  plan.record_quarantine();
+  plan.record_straggler_cycles(7'000);
+  const FaultStats stats = plan.stats();
+  EXPECT_EQ(stats.injected[0], 2u);
+  EXPECT_EQ(stats.injected[2], 1u);
+  EXPECT_EQ(stats.total_injected(), 3u);
+  EXPECT_EQ(stats.retries, 5u);
+  EXPECT_EQ(stats.give_ups, 1u);
+  EXPECT_EQ(stats.frames_quarantined, 1u);
+  EXPECT_EQ(stats.recovery_cycles, 6'000u);
+  EXPECT_EQ(stats.straggler_cycles, 7'000u);
+  ASSERT_EQ(stats.per_asid_faults.size(), 2u);
+  EXPECT_EQ(stats.per_asid_faults[0], 2u);
+  EXPECT_EQ(stats.per_asid_faults[1], 1u);
+  EXPECT_EQ(stats.per_asid_recovery[1], 5'000u);
+}
+
+class FaultyPcieTest : public ::testing::Test {
+ protected:
+  CostModel cost = CostModel::knc();
+};
+
+TEST_F(FaultyPcieTest, ZeroFailureOutcomeMatchesPlainTransfer) {
+  // With rates at zero the fault-aware path must be arithmetic-identical to
+  // transfer(): same completion time, same queueing, same byte counters.
+  FaultPlanConfig config;  // disabled; next_pcie always returns healthy
+  FaultPlan plan(config);
+  PcieLink faulty(cost);
+  PcieLink plain(cost);
+  Cycles wait = 0;
+  for (int i = 0; i < 5; ++i) {
+    const Cycles expected =
+        plain.transfer(PcieDir::kHostToDevice, 100 * i, 4096, &wait);
+    const PcieTransferOutcome out =
+        faulty.transfer_with_faults(PcieDir::kHostToDevice, 100 * i, 4096, plan);
+    EXPECT_EQ(out.done, expected);
+    EXPECT_EQ(out.queue_wait, wait);
+    EXPECT_EQ(out.failures, 0u);
+    EXPECT_FALSE(out.gave_up);
+    EXPECT_EQ(out.recovery, 0u);
+  }
+  EXPECT_EQ(faulty.bytes_moved(PcieDir::kHostToDevice),
+            plain.bytes_moved(PcieDir::kHostToDevice));
+  EXPECT_EQ(faulty.transfers(PcieDir::kHostToDevice),
+            plain.transfers(PcieDir::kHostToDevice));
+}
+
+TEST_F(FaultyPcieTest, TransientFailurePaysOneAttemptAndBackoff) {
+  FaultPlanConfig config;
+  config.pcie_transient_rate = 1.0;
+  FaultPlan plan(config);
+  PcieLink link(cost);
+  const PcieTransferOutcome out =
+      link.transfer_with_faults(PcieDir::kHostToDevice, 0, 4096, plan);
+  const Cycles attempt = cost.pcie_setup + cost.pcie_transfer_cycles(4096);
+  EXPECT_EQ(out.failures, 1u);
+  EXPECT_FALSE(out.gave_up);
+  EXPECT_EQ(out.attempt_cost, attempt);
+  EXPECT_EQ(out.done, 2 * attempt + config.backoff(1));
+  EXPECT_EQ(out.recovery, attempt + config.backoff(1));
+  // The failed attempt's junk bytes occupied the wire.
+  EXPECT_EQ(link.bytes_moved(PcieDir::kHostToDevice), 2 * 4096u);
+  EXPECT_EQ(link.transfers(PcieDir::kHostToDevice), 1u);
+}
+
+TEST_F(FaultyPcieTest, StickyFailureResetsLinkAndStillDelivers) {
+  FaultPlanConfig config;
+  config.pcie_sticky_rate = 1.0;
+  config.max_retries = 3;
+  FaultPlan plan(config);
+  PcieLink link(cost);
+  const PcieTransferOutcome out =
+      link.transfer_with_faults(PcieDir::kDeviceToHost, 0, 4096, plan);
+  const Cycles attempt = cost.pcie_setup + cost.pcie_transfer_cycles(4096);
+  EXPECT_EQ(out.failures, 3u);
+  EXPECT_TRUE(out.gave_up);
+  // 3 failed attempts: backoff after the first two, link reset after the
+  // final one; then the post-reset replay lands.
+  const Cycles expected = 4 * attempt + config.backoff(1) + config.backoff(2) +
+                          config.link_reset_cycles;
+  EXPECT_EQ(out.done, expected);
+  EXPECT_EQ(out.recovery, expected - attempt);
+}
+
+}  // namespace
+}  // namespace cmcp::sim

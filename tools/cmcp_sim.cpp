@@ -17,6 +17,7 @@
 #include <string>
 
 #include "cmcp.h"
+#include "metrics/resilience_report.h"
 
 namespace {
 
@@ -39,6 +40,8 @@ using namespace cmcp;
       "  --hw-tlb                    hypothetical TLB directory hardware\n"
       "  --preload                   no-data-movement baseline\n"
       "  --seed N                    workload seed (default 1234)\n"
+      "  --faults SPEC               deterministic fault injection, e.g.\n"
+      "                              seed=7,pcie=0.01,poison=2 (docs/robustness.md)\n"
       "  --csv FILE                  append results as CSV\n"
       "  --json FILE                 write results as schema-versioned JSON\n"
       "  --trace FILE                record a structured event trace\n"
@@ -132,6 +135,11 @@ int main(int argc, char** argv) {
       config.preload = true;
     } else if (arg == "--seed") {
       seed = static_cast<std::uint64_t>(std::atoll(need_value(i)));
+    } else if (arg == "--faults") {
+      if (!sim::FaultPlanConfig::parse(need_value(i), &config.faults)) {
+        std::fprintf(stderr, "malformed --faults spec\n");
+        usage(argv[0]);
+      }
     } else if (arg == "--csv") {
       csv_path = need_value(i);
     } else if (arg == "--json") {
@@ -189,6 +197,7 @@ int main(int argc, char** argv) {
   spec.preload = config.preload;
   spec.page_size = config.machine.page_size;
   spec.seed = seed;
+  spec.faults = config.faults;
   sim::trace::Metadata meta = spec.describe();
   meta.emplace_back("prefetch_degree", std::to_string(config.prefetch_degree));
   meta.emplace_back("scan_period",
@@ -236,6 +245,11 @@ int main(int argc, char** argv) {
     std::printf("prefetches      : %llu issued, %llu hit\n",
                 static_cast<unsigned long long>(result.app_total.prefetches),
                 static_cast<unsigned long long>(result.app_total.prefetch_hits));
+  if (result.faults_enabled)
+    std::printf("%s", metrics::format_resilience_report(
+                          result.fault_config, result.fault_stats,
+                          result.capacity_units)
+                          .c_str());
 
   if (trace_path) {
     sim::trace::write_trace_file(sink, meta, metrics::result_summary(result),
