@@ -76,8 +76,6 @@ struct CoreState {
   std::uint64_t last_pick = kNoPick;  ///< victim_pick awaiting its eviction
   std::unordered_set<std::uint64_t> shot_since_pick;
   std::unordered_set<std::uint64_t> writeback_since_pick;
-  Cycles last_ts = 0;      ///< fault/barrier timestamp watermark
-  bool has_last_ts = false;
   /// The address space this core faults for, learned from its first fault.
   std::uint64_t bound_asid = 0;
   bool has_bound_asid = false;
@@ -176,7 +174,7 @@ class Linter {
                 " spaces");
 
     if (*kind == "minor_fault") {
-      fault_ts(number, *core, *ts);
+      fault_ts(number, *core, asid, *ts);
       if (!unit) return issue(number, "parse-error", "minor_fault without unit");
       fill_asid(number, *core, asid);
       UnitState& st = units_[unit_key(asid, *unit)];
@@ -186,7 +184,7 @@ class Linter {
                   " after its eviction (no refetch in between)");
       st.residency = Residency::kResident;
     } else if (*kind == "major_fault") {
-      fault_ts(number, *core, *ts);
+      fault_ts(number, *core, asid, *ts);
       if (!unit) return issue(number, "parse-error", "major_fault without unit");
       fill_asid(number, *core, asid);
       UnitState& st = units_[unit_key(asid, *unit)];
@@ -223,6 +221,9 @@ class Linter {
     } else if (*kind == "eviction") {
       eviction(number, *core, unit, asid_field, args);
     } else if (*kind == "scan_pass") {
+      // Scanner passes are stamped with the pseudo-core's tick time, so
+      // they join the per-(asid, core) monotonicity watermark.
+      fault_ts(number, *core, asid, *ts);
       // One scanner per address space; passes of DIFFERENT spaces may
       // overlap in global time, so the no-overlap invariant is per space.
       Cycles& scan_end = scan_end_[asid];
@@ -240,7 +241,7 @@ class Linter {
                   std::to_string(slot_end_));
       slot_end_ = *ts + *dur;
     } else if (*kind == "barrier_wait") {
-      fault_ts(number, *core, *ts);
+      fault_ts(number, *core, asid, *ts);
     } else if (*kind == "fault_inject") {
       const auto fault = find_uint(args, "fault");
       if (!fault)
@@ -388,19 +389,27 @@ class Linter {
                 std::to_string(cs.bound_asid));
   }
 
-  /// Per-core monotonicity over the kinds stamped with the core's own clock
-  /// at emission time (faults and barrier waits). Evictions/picks are
-  /// stamped mid-access and legitimately interleave out of timestamp order
-  /// with the enclosing fault event, so they are excluded.
-  void fault_ts(std::size_t number, std::uint64_t core, Cycles ts) {
-    CoreState& cs = core_state(core);
-    if (cs.has_last_ts && ts < cs.last_ts)
+  /// Per-(asid, core) monotonicity over the kinds stamped with the emitting
+  /// core's own clock at emission time: faults, barrier waits and scanner
+  /// passes. A reordered stream here would mean the engine (or a batching
+  /// exporter) merged events out of virtual-time order — the bug class the
+  /// parallel engine's coordinator-only emission rule exists to prevent.
+  /// Evictions/picks/shootdowns are stamped mid-access and legitimately
+  /// interleave out of timestamp order with the enclosing fault event, so
+  /// they are excluded.
+  void fault_ts(std::size_t number, std::uint64_t core, std::uint64_t asid,
+                Cycles ts) {
+    const std::uint64_t key = unit_key(asid, core);
+    const auto it = ts_watermark_.find(key);
+    if (it != ts_watermark_.end() && ts < it->second) {
       issue(number, "core-time-regression",
-            "core " + std::to_string(core) + " timestamp " +
-                std::to_string(ts) + " precedes earlier event at " +
-                std::to_string(cs.last_ts));
-    cs.last_ts = ts;
-    cs.has_last_ts = true;
+            "core " + std::to_string(core) + " (asid " + std::to_string(asid) +
+                ") timestamp " + std::to_string(ts) +
+                " precedes earlier event at " + std::to_string(it->second));
+      it->second = ts;
+      return;
+    }
+    ts_watermark_[key] = ts;
   }
 
   void summary(std::size_t number, std::string_view text) {
@@ -450,6 +459,8 @@ class Linter {
   std::unordered_map<std::string, std::uint64_t> by_kind_;
   std::uint64_t spaces_ = 1;  ///< meta "spaces" field; 1 = single-tenant
   std::unordered_map<std::uint64_t, Cycles> scan_end_;  ///< by asid
+  /// fault/barrier/scan timestamp watermark, by (asid, core).
+  std::unordered_map<std::uint64_t, Cycles> ts_watermark_;
   Cycles slot_end_ = 0;
   bool saw_meta_ = false;
   bool complained_meta_ = false;

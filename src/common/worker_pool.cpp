@@ -1,0 +1,60 @@
+#include "common/worker_pool.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace cmcp::common {
+
+unsigned resolve_thread_count(unsigned configured) {
+  if (configured == 1) {
+    if (const char* env = std::getenv("CMCP_SIM_THREADS");
+        env != nullptr && *env != '\0') {
+      configured = static_cast<unsigned>(std::strtoul(env, nullptr, 10));
+    }
+  }
+  if (configured == 0)
+    configured = std::max(1u, std::thread::hardware_concurrency());
+  return configured;
+}
+
+WorkerPool::WorkerPool(unsigned num_threads) {
+  threads_.reserve(num_threads);
+  for (unsigned i = 0; i < num_threads; ++i)
+    threads_.emplace_back([this] { worker_loop(); });
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    LockGuard lock(mu_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void WorkerPool::submit(Task* task) {
+  task->state_.store(Task::kQueued, std::memory_order_release);
+  {
+    LockGuard lock(mu_);
+    queue_.push_back(task);
+  }
+  cv_.notify_one();
+}
+
+void WorkerPool::worker_loop() {
+  for (;;) {
+    Task* task = nullptr;
+    {
+      LockGuard lock(mu_);
+      while (queue_.empty() && !shutdown_) cv_.wait(mu_);
+      if (queue_.empty()) return;  // shutdown with a drained queue
+      task = queue_.front();
+      queue_.pop_front();
+    }
+    // The coordinator may have stolen it (inline execution); losing the
+    // claim is the common case on an oversubscribed host and is free.
+    if (task->try_claim()) task->run_claimed();
+  }
+}
+
+}  // namespace cmcp::common

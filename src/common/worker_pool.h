@@ -1,0 +1,113 @@
+// The engine's one sanctioned host-thread pool (cmcp_lint rule
+// `stray-thread` permits threading primitives only here and in the
+// parallel-runner pair): a fixed set of workers draining a FIFO of Tasks.
+//
+// A Task is claimable: the thread that moves it kQueued -> kRunning owns the
+// body. The coordinator uses this to steal a task it is about to wait on and
+// run it inline — on a saturated or single-CPU host the engine then degrades
+// to serial execution instead of blocking on a descheduled worker.
+//
+// wait() synchronizes: everything the claiming thread wrote before mark_done()
+// happens-before the return of wait() (release store / acquire load on the
+// task state).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <thread>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace cmcp::common {
+
+/// One unit of work: a plain function pointer + context, claimable exactly
+/// once per arm()/submit cycle. No allocation, reusable across cycles.
+class Task {
+ public:
+  using Fn = void (*)(void* ctx);
+
+  /// Prepare for one execution. Must not be armed or in flight.
+  void arm(Fn fn, void* ctx) {
+    fn_ = fn;
+    ctx_ = ctx;
+    state_.store(kIdle, std::memory_order_relaxed);
+  }
+
+  /// Atomically take ownership (kQueued -> kRunning). True if the caller
+  /// must now execute run_claimed(). False: someone else owns or owned it.
+  bool try_claim() {
+    std::uint8_t expected = kQueued;
+    return state_.compare_exchange_strong(expected, kRunning,
+                                          std::memory_order_acquire,
+                                          std::memory_order_relaxed);
+  }
+
+  /// Execute the body after a successful try_claim(), then publish kDone.
+  void run_claimed() {
+    fn_(ctx_);
+    state_.store(kDone, std::memory_order_release);
+    state_.notify_all();
+  }
+
+  /// Block until the task reaches kDone (acquire; see file comment).
+  void wait() const {
+    std::uint8_t s = state_.load(std::memory_order_acquire);
+    while (s != kDone) {
+      state_.wait(s, std::memory_order_relaxed);
+      s = state_.load(std::memory_order_acquire);
+    }
+  }
+
+  bool done() const { return state_.load(std::memory_order_acquire) == kDone; }
+
+ private:
+  friend class WorkerPool;
+  static constexpr std::uint8_t kIdle = 0;
+  static constexpr std::uint8_t kQueued = 1;
+  static constexpr std::uint8_t kRunning = 2;
+  static constexpr std::uint8_t kDone = 3;
+
+  Fn fn_ = nullptr;
+  void* ctx_ = nullptr;
+  std::atomic<std::uint8_t> state_{kIdle};
+};
+
+/// Fixed pool of host worker threads. Tasks are non-owning pointers: the
+/// submitter keeps each Task alive until wait()/done() says it finished.
+class WorkerPool {
+ public:
+  /// Spawns `num_threads` workers (0 is allowed: submit() then only marks
+  /// tasks queued and the submitter's try_claim path runs them).
+  explicit WorkerPool(unsigned num_threads);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  unsigned num_threads() const { return static_cast<unsigned>(threads_.size()); }
+
+  /// Queue an armed task. The task becomes claimable immediately (a worker
+  /// or anyone calling try_claim may win it).
+  void submit(Task* task);
+
+ private:
+  void worker_loop();
+
+  Mutex mu_;
+  CondVar cv_;
+  std::deque<Task*> queue_ CMCP_GUARDED_BY(mu_);
+  bool shutdown_ CMCP_GUARDED_BY(mu_) = false;
+  std::vector<std::thread> threads_;
+};
+
+/// Resolve a configured engine thread count: 1 (the default) defers to the
+/// CMCP_SIM_THREADS environment variable — safe because results are
+/// byte-identical at any count, and how the TSan CI job drives the whole
+/// suite parallel without touching each test — and 0 means one thread per
+/// host CPU. Explicit counts > 1 win over the environment.
+unsigned resolve_thread_count(unsigned configured);
+
+}  // namespace cmcp::common

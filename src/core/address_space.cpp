@@ -94,6 +94,11 @@ void AddressSpace::preload_all() {
 }
 
 Cycles AddressSpace::access(CoreId core, Vpn vpn, bool write, Cycles now) {
+  // TLB hit / PTE refill: one shared implementation with the parallel
+  // engine's local spans (header). Touches nothing when it declines.
+  const Cycles fast = try_local_access(core, vpn, write);
+  if (fast != kNotLocal) return fast;
+
   const sim::CostModel& cost = machine_.cost();
   metrics::CoreCounters& ctr = machine_.counters(core);
   ++ctr.accesses;
@@ -101,29 +106,9 @@ Cycles AddressSpace::access(CoreId core, Vpn vpn, bool write, Cycles now) {
   const UnitIdx unit = area_.unit_of(vpn);
   sim::Tlb& tlb = machine_.tlb(core);
 
-  // Fast path: translation cached.
-  if (tlb.lookup(unit)) {
-    const Cycles c = cost.tlb_hit + cost.memory_access;
-    if (write) page_table_->mark_dirty(core, unit);
-    ctr.cycles_mem += c;
-    return c;
-  }
-
-  // dTLB miss: hardware page walk.
+  // dTLB miss, walk found no valid PTE: page fault.
   ++ctr.dtlb_misses;
-  Cycles mem_cycles = cost.walk_cost(area_.page_size());
-
-  if (page_table_->has_mapping(core, unit)) {
-    // Walk hit a valid PTE: refill the TLB, set attribute bits.
-    page_table_->mark_accessed(core, unit);
-    if (write) page_table_->mark_dirty(core, unit);
-    tlb.insert(unit);
-    mem_cycles += cost.memory_access;
-    ctr.cycles_mem += mem_cycles;
-    return mem_cycles;
-  }
-
-  // Page fault.
+  const Cycles mem_cycles = cost.walk_cost(area_.page_size());
   ctr.cycles_mem += mem_cycles;
   Cycles fault_cycles = cost.fault_entry;
   Cycles lock_wait = 0;
@@ -312,25 +297,25 @@ Cycles AddressSpace::quarantine_frame(CoreId core, Cycles at, Pfn pfn,
   return fc.ecc_detect_cycles;
 }
 
-Cycles AddressSpace::shootdown_unit(CoreId initiator, Cycles now, CoreMask targets,
-                                    UnitIdx unit) {
+Cycles AddressSpace::shootdown_unit(CoreId initiator, Cycles now,
+                                    const CoreMask& targets, UnitIdx unit) {
   const sim::CostModel& cost = machine_.cost();
-  Cycles local = 0;
-  if (targets.test(initiator)) {
-    // The initiator invalidates its own TLB directly (INVLPG, no IPI).
-    targets.clear(initiator);
-    machine_.tlb(initiator).invalidate(unit);
-    local += cost.invlpg;
-  }
+  const std::array<UnitIdx, 1> units = {unit};
+  const bool self = targets.test(initiator);
   // Cross-tenant interference accounting: every remote invalidation lands
   // on THIS space's cores (only they can map this space's units); the cause
   // is whoever initiates — under QoS priority eviction that can be a
   // faulting core of another space.
   if (mm_.num_spaces() > 1)
     mm_.record_interference(machine_.space_of_core(initiator), asid_,
-                            targets.count());
-  const std::array<UnitIdx, 1> units = {unit};
-  return local + machine_.shootdown(initiator, now, targets, units);
+                            targets.count() - (self ? 1u : 0u));
+  if (!self) return machine_.shootdown(initiator, now, targets, units);
+  // The initiator invalidates its own TLB directly (INVLPG, no IPI); only
+  // this path pays for a mask copy to drop the initiator bit.
+  machine_.tlb(initiator).invalidate(unit);
+  CoreMask remote = targets;
+  remote.clear(initiator);
+  return cost.invlpg + machine_.shootdown(initiator, now, remote, units);
 }
 
 Cycles AddressSpace::evict_one(CoreId faulting_core, Cycles now) {

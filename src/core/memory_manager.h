@@ -13,6 +13,7 @@
 // space 0 so existing callers and tests keep working unchanged.
 #pragma once
 
+#include <algorithm>
 #include <functional>
 #include <memory>
 #include <vector>
@@ -95,6 +96,16 @@ class MemoryManager final {
   /// every address space in asid order. The engine calls this with a
   /// monotonically non-decreasing global time.
   void run_periodic(Cycles watermark);
+
+  /// Earliest pending periodic tick over all spaces: run_periodic(w) is a
+  /// no-op for any w below this, so the engine batches events between due
+  /// times without calling into the manager at all.
+  Cycles next_periodic_due() const {
+    Cycles due = ~Cycles{0};
+    for (const std::unique_ptr<AddressSpace>& space : spaces_)
+      due = std::min(due, space->next_tick());
+    return due;
+  }
 
   // --- multi-tenant surface ------------------------------------------------
   unsigned num_spaces() const { return static_cast<unsigned>(spaces_.size()); }

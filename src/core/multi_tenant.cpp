@@ -3,10 +3,10 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdlib>
-#include <queue>
 
 #include "check/invariant_checkers.h"
 #include "common/assert.h"
+#include "core/engine.h"
 
 namespace cmcp::core {
 
@@ -102,160 +102,23 @@ MultiTenantResult run_multi_tenant(const MultiTenantConfig& config,
 #endif
 
   // --- the deterministic interleaving engine -------------------------------
-  // Same structure as core::Simulation::run(), with barriers scoped to each
-  // tenant's core block instead of the whole machine.
+  // The shared engine (core/engine.h), with one barrier group per tenant:
+  // barriers synchronize only within a tenant's core block, and each tenant
+  // finishes independently.
   const CoreId n = machine.num_cores();
-
-  enum class CoreState : std::uint8_t { kRunning, kAtBarrier, kDone };
-  struct PerCore {
-    std::unique_ptr<wl::AccessStream> stream;
-    Asid tenant = 0;
-    Vpn area_base = 0;
-    CoreState state = CoreState::kRunning;
-    wl::Op pending;              ///< in-progress access op
-    std::uint32_t progress = 0;  ///< pages of `pending` already processed
-    bool has_pending = false;
-  };
-  std::vector<PerCore> cores(n);
-  struct TenantGroup {
-    CoreId first_core = 0;
-    CoreId num_cores = 0;
-    CoreId active = 0;      ///< cores not yet done
-    CoreId at_barrier = 0;  ///< cores waiting at the tenant's current barrier
-  };
-  std::vector<TenantGroup> groups(num_tenants);
+  std::vector<EngineCoreInit> cores(n);
+  std::vector<EngineGroup> groups(num_tenants);
   for (Asid t = 0; t < num_tenants; ++t) {
     const wl::TenantPlacement p = spec.placement(t);
-    groups[t] = {p.first_core, p.num_cores, p.num_cores, 0};
+    groups[t] = {p.first_core, p.num_cores};
     for (CoreId c = 0; c < p.num_cores; ++c) {
-      PerCore& pc = cores[p.first_core + c];
-      pc.stream = spec.tenant(t).make_stream(c);
-      pc.tenant = t;
-      pc.area_base = p.area_base_vpn;
+      EngineCoreInit& init = cores[p.first_core + c];
+      init.stream = spec.tenant(t).make_stream(c);
+      init.tenant = t;
+      init.area_base = p.area_base_vpn;
     }
   }
-
-  // Min-heap of (clock, core) with lazy re-push on stale entries.
-  struct HeapEntry {
-    Cycles time;
-    CoreId core;
-    bool operator>(const HeapEntry& o) const {
-      return time != o.time ? time > o.time : core > o.core;
-    }
-  };
-  std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>> heap;
-  for (CoreId c = 0; c < n; ++c) heap.push({0, c});
-
-  const auto release_barrier_if_complete = [&](Asid tenant) {
-    TenantGroup& g = groups[tenant];
-    if (g.active == 0 || g.at_barrier != g.active) return;
-    Cycles tmax = 0;
-    for (CoreId c = g.first_core; c < g.first_core + g.num_cores; ++c) {
-      if (cores[c].state == CoreState::kAtBarrier)
-        tmax = std::max(tmax, machine.clock(c));
-    }
-    for (CoreId c = g.first_core; c < g.first_core + g.num_cores; ++c) {
-      if (cores[c].state != CoreState::kAtBarrier) continue;
-      machine.counters(c).cycles_barrier += tmax - machine.clock(c);
-      if (sim::trace::EventSink* tr = machine.trace())
-        tr->emit({sim::trace::EventKind::kBarrierWait, c, machine.clock(c),
-                  tmax - machine.clock(c), kInvalidUnit, 0, 0, 0, tenant});
-      machine.set_clock(c, tmax);
-      cores[c].state = CoreState::kRunning;
-      heap.push({tmax, c});
-    }
-    g.at_barrier = 0;
-  };
-
-  while (!heap.empty()) {
-    const auto [time, core] = heap.top();
-    heap.pop();
-    if (cores[core].state != CoreState::kRunning) continue;
-    const Cycles actual = machine.clock(core);
-    if (actual != time) {
-      // Clock advanced (shootdown interrupts) since this entry was pushed.
-      heap.push({actual, core});
-      continue;
-    }
-
-    mm.run_periodic(actual);
-
-    PerCore& pc = cores[core];
-    // One page of an in-progress access op per engine event: shared
-    // resources (PCIe link, invalidation slot, page-table locks) are
-    // then updated in near-global time order, so queueing is resolved
-    // at page granularity.
-    if (pc.has_pending) {
-      const wl::Op& op = pc.pending;
-      const Vpn vpn =
-          pc.area_base + op.vpn + static_cast<Vpn>(pc.progress) * op.stride;
-      for (std::uint16_t r = 0; r < op.repeat; ++r) {
-        const Cycles now = machine.clock(core);
-        machine.advance(core, mm.access(core, vpn, op.write, now));
-      }
-      if (op.cycles > 0) {
-        machine.counters(core).cycles_compute += op.cycles;
-        machine.advance(core, op.cycles);
-      }
-      if (++pc.progress >= op.count) pc.has_pending = false;
-      heap.push({machine.clock(core), core});
-      continue;
-    }
-
-    const wl::Op op = pc.stream->next();
-    switch (op.kind) {
-      case wl::OpKind::kAccess: {
-        CMCP_CHECK(op.count > 0);
-        pc.pending = op;
-        pc.progress = 0;
-        pc.has_pending = true;
-        heap.push({machine.clock(core), core});
-        break;
-      }
-      case wl::OpKind::kCompute: {
-        machine.counters(core).cycles_compute += op.cycles;
-        machine.advance(core, op.cycles);
-        heap.push({machine.clock(core), core});
-        break;
-      }
-      case wl::OpKind::kSyscall: {
-        // IHK offload round trip over the SHARED PCIe link — a syscall-heavy
-        // tenant queues behind (and delays) its neighbors' page traffic.
-        const sim::CostModel& cost = machine.cost();
-        metrics::CoreCounters& ctr = machine.counters(core);
-        const Cycles start = machine.clock(core) + cost.syscall_local;
-        const sim::Machine::PcieTransferResult req = machine.pcie_transfer(
-            core, sim::PcieDir::kDeviceToHost, start,
-            cost.syscall_message_bytes + op.count, kInvalidUnit, pc.tenant);
-        const Cycles host_done = req.done + cost.syscall_host_dispatch + op.cycles;
-        const sim::Machine::PcieTransferResult resp = machine.pcie_transfer(
-            core, sim::PcieDir::kHostToDevice, host_done,
-            cost.syscall_message_bytes, kInvalidUnit, pc.tenant);
-        ++ctr.syscalls;
-        ctr.cycles_syscall += resp.done - machine.clock(core);
-        machine.set_clock(core, resp.done);
-        heap.push({machine.clock(core), core});
-        break;
-      }
-      case wl::OpKind::kBarrier: {
-        pc.state = CoreState::kAtBarrier;
-        ++groups[pc.tenant].at_barrier;
-        release_barrier_if_complete(pc.tenant);
-        break;
-      }
-      case wl::OpKind::kEnd: {
-        pc.state = CoreState::kDone;
-        --groups[pc.tenant].active;
-        // A barrier pending among the tenant's remaining cores may now be
-        // complete.
-        release_barrier_if_complete(pc.tenant);
-        break;
-      }
-    }
-  }
-  for (Asid t = 0; t < num_tenants; ++t)
-    CMCP_CHECK_MSG(groups[t].active == 0 && groups[t].at_barrier == 0,
-                   "engine deadlock: cores stuck at a tenant barrier");
+  run_engine(machine, mm, cores, groups, config.threads);
   if (checks != nullptr) checks->run_now(sim::CheckPoint::kEndOfRun);
 
   // --- collect -------------------------------------------------------------
@@ -265,7 +128,7 @@ MultiTenantResult run_multi_tenant(const MultiTenantConfig& config,
   result.interference = mm.interference();
   result.tenants.resize(num_tenants);
   for (Asid t = 0; t < num_tenants; ++t) {
-    const TenantGroup& g = groups[t];
+    const EngineGroup& g = groups[t];
     TenantResult& tr = result.tenants[t];
     const AddressSpace& space = mm.space(t);
     tr.workload_name = std::string(spec.tenant(t).name());

@@ -4,10 +4,10 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cmath>
-#include <queue>
 
 #include "check/invariant_checkers.h"
 #include "common/assert.h"
+#include "core/engine.h"
 
 namespace cmcp::core {
 
@@ -108,141 +108,16 @@ SimulationResult Simulation::run() {
   ran_ = true;
 
   const CoreId n = machine_.num_cores();
-
-  enum class CoreState : std::uint8_t { kRunning, kAtBarrier, kDone };
-  struct PerCore {
-    std::unique_ptr<wl::AccessStream> stream;
-    CoreState state = CoreState::kRunning;
-    wl::Op pending;            ///< in-progress access op
-    std::uint32_t progress = 0;  ///< pages of `pending` already processed
-    bool has_pending = false;
-  };
-  std::vector<PerCore> cores(n);
-  for (CoreId c = 0; c < n; ++c) cores[c].stream = workload_.make_stream(c);
-
-  // Min-heap of (clock, core) with lazy re-push on stale entries.
-  struct HeapEntry {
-    Cycles time;
-    CoreId core;
-    bool operator>(const HeapEntry& o) const {
-      return time != o.time ? time > o.time : core > o.core;
-    }
-  };
-  std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>> heap;
-  for (CoreId c = 0; c < n; ++c) heap.push({0, c});
-
-  CoreId active = n;       // cores not yet done
-  CoreId at_barrier = 0;   // cores waiting at the current barrier
-
-  const auto release_barrier_if_complete = [&] {
-    if (active == 0 || at_barrier != active) return;
-    Cycles tmax = 0;
-    for (CoreId c = 0; c < n; ++c) {
-      if (cores[c].state == CoreState::kAtBarrier)
-        tmax = std::max(tmax, machine_.clock(c));
-    }
-    for (CoreId c = 0; c < n; ++c) {
-      if (cores[c].state != CoreState::kAtBarrier) continue;
-      machine_.counters(c).cycles_barrier += tmax - machine_.clock(c);
-      if (sim::trace::EventSink* tr = machine_.trace())
-        tr->emit({sim::trace::EventKind::kBarrierWait, c, machine_.clock(c),
-                  tmax - machine_.clock(c), kInvalidUnit, 0, 0, 0});
-      machine_.set_clock(c, tmax);
-      cores[c].state = CoreState::kRunning;
-      heap.push({tmax, c});
-    }
-    at_barrier = 0;
-  };
-
-  while (!heap.empty()) {
-    const auto [time, core] = heap.top();
-    heap.pop();
-    if (cores[core].state != CoreState::kRunning) continue;
-    const Cycles actual = machine_.clock(core);
-    if (actual != time) {
-      // Clock advanced (shootdown interrupts) since this entry was pushed.
-      heap.push({actual, core});
-      continue;
-    }
-
-    mm_.run_periodic(actual);
-
-    PerCore& pc = cores[core];
-    // One page of an in-progress access op per engine event: shared
-    // resources (PCIe link, invalidation slot, page-table locks) are
-    // then updated in near-global time order, so queueing is resolved
-    // at page granularity.
-    if (pc.has_pending) {
-      const wl::Op& op = pc.pending;
-      const Vpn vpn = area_.base_vpn() + op.vpn +
-                      static_cast<Vpn>(pc.progress) * op.stride;
-      for (std::uint16_t r = 0; r < op.repeat; ++r) {
-        const Cycles now = machine_.clock(core);
-        machine_.advance(core, mm_.access(core, vpn, op.write, now));
-      }
-      if (op.cycles > 0) {
-        machine_.counters(core).cycles_compute += op.cycles;
-        machine_.advance(core, op.cycles);
-      }
-      if (++pc.progress >= op.count) pc.has_pending = false;
-      heap.push({machine_.clock(core), core});
-      continue;
-    }
-
-    const wl::Op op = pc.stream->next();
-    switch (op.kind) {
-      case wl::OpKind::kAccess: {
-        CMCP_CHECK(op.count > 0);
-        pc.pending = op;
-        pc.progress = 0;
-        pc.has_pending = true;
-        heap.push({machine_.clock(core), core});
-        break;
-      }
-      case wl::OpKind::kCompute: {
-        machine_.counters(core).cycles_compute += op.cycles;
-        machine_.advance(core, op.cycles);
-        heap.push({machine_.clock(core), core});
-        break;
-      }
-      case wl::OpKind::kSyscall: {
-        // IHK offload: request over IKC/PCIe, host service, response back.
-        // The calling core blocks for the whole round trip (paper section
-        // 2.1: "heavy system calls are shipped to and executed on the
-        // host").
-        const sim::CostModel& cost = machine_.cost();
-        metrics::CoreCounters& ctr = machine_.counters(core);
-        const Cycles start = machine_.clock(core) + cost.syscall_local;
-        const sim::Machine::PcieTransferResult req = machine_.pcie_transfer(
-            core, sim::PcieDir::kDeviceToHost, start,
-            cost.syscall_message_bytes + op.count, kInvalidUnit, 0);
-        const Cycles host_done = req.done + cost.syscall_host_dispatch + op.cycles;
-        const sim::Machine::PcieTransferResult resp = machine_.pcie_transfer(
-            core, sim::PcieDir::kHostToDevice, host_done,
-            cost.syscall_message_bytes, kInvalidUnit, 0);
-        ++ctr.syscalls;
-        ctr.cycles_syscall += resp.done - machine_.clock(core);
-        machine_.set_clock(core, resp.done);
-        heap.push({machine_.clock(core), core});
-        break;
-      }
-      case wl::OpKind::kBarrier: {
-        pc.state = CoreState::kAtBarrier;
-        ++at_barrier;
-        release_barrier_if_complete();
-        break;
-      }
-      case wl::OpKind::kEnd: {
-        pc.state = CoreState::kDone;
-        --active;
-        // A barrier pending among the remaining cores may now be complete.
-        release_barrier_if_complete();
-        break;
-      }
-    }
+  std::vector<EngineCoreInit> cores(n);
+  for (CoreId c = 0; c < n; ++c) {
+    cores[c].stream = workload_.make_stream(c);
+    cores[c].area_base = area_.base_vpn();
   }
-  CMCP_CHECK_MSG(active == 0 && at_barrier == 0,
-                 "engine deadlock: cores stuck at a barrier");
+  // One barrier group spanning the whole machine: wl::OpKind::kBarrier
+  // synchronizes every core.
+  const EngineGroup group{0, n};
+  run_engine(machine_, mm_, cores, std::span<const EngineGroup>(&group, 1),
+             config_.threads);
   if (checks_ != nullptr) checks_->run_now(sim::CheckPoint::kEndOfRun);
 
   SimulationResult result;

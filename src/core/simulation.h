@@ -51,6 +51,12 @@ struct SimulationConfig {
   /// Base of the computation area (2 MB aligned so all unit sizes fit).
   Vpn area_base_vpn = 0;
 
+  /// Host worker threads for the engine (core/engine.h). 1 (default) is the
+  /// exact serial engine — and defers to the CMCP_SIM_THREADS environment
+  /// variable, the TSan CI hook; 0 means one thread per host CPU. Results
+  /// and traces are byte-identical at any value.
+  unsigned threads = 1;
+
   /// Structured event tracing: when non-null, every fault, victim pick,
   /// eviction, shootdown, PCIe transfer, scanner pass and barrier wait is
   /// recorded into this sink (non-owning). Null = tracing disabled; the

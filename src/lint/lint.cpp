@@ -289,7 +289,8 @@ void rule_float_virtual_time(const Ctx& c) {
     for (char& ch : lower) ch = static_cast<char>(std::tolower(
         static_cast<unsigned char>(ch)));
     return lower.find("cycle") != std::string::npos ||
-           lower.find("tick") != std::string::npos;
+           (lower.find("tick") != std::string::npos &&
+            lower.find("stick") == std::string::npos);  // "sticky" != a tick
   };
   for (std::size_t i = 0; i + 1 < c.ts.size(); ++i) {
     // (a) `double fetch_cycles` — but not `double cycles_to_seconds(...)`,
@@ -383,14 +384,18 @@ void rule_raw_mutex(const Ctx& c) {
   }
 }
 
-/// stray-thread: threading primitives outside the one sanctioned
-/// parallelism entry point (metrics/parallel_runner). The simulation core
-/// is single-threaded by contract; keeping thread creation in one audited
-/// file is what makes that contract checkable.
+/// stray-thread: threading primitives outside the two sanctioned
+/// parallelism entry points — metrics/parallel_runner (independent runs in
+/// parallel) and common/worker_pool (the engine's local-span pool,
+/// core/engine.h). Everything else in the simulation core is
+/// single-threaded by contract; keeping thread creation in audited files
+/// is what makes that contract checkable.
 void rule_stray_thread(const Ctx& c) {
   if (!in_src(c.path)) return;
   if (c.path == "src/metrics/parallel_runner.cpp" ||
-      c.path == "src/metrics/parallel_runner.h")
+      c.path == "src/metrics/parallel_runner.h" ||
+      c.path == "src/common/worker_pool.cpp" ||
+      c.path == "src/common/worker_pool.h")
     return;
   constexpr std::array<std::string_view, 16> kThreading = {
       "thread",       "jthread",       "async",
@@ -404,8 +409,8 @@ void rule_stray_thread(const Ctx& c) {
         is_ident(c.ts, i - 2, "std")) {
       c.report(c.ts[i].line, "stray-thread",
                "std::" + c.ts[i].text +
-                   " outside metrics/parallel_runner: the simulation core is "
-                   "single-threaded by contract");
+                   " outside metrics/parallel_runner and common/worker_pool: "
+                   "the simulation core is single-threaded by contract");
     }
   }
 }
@@ -527,7 +532,9 @@ const std::vector<RuleInfo>& rule_catalog() {
       {"float-virtual-time", "floating-point values holding virtual time"},
       {"check-side-effect", "mutation inside CMCP_CHECK/SIMCHECK arguments"},
       {"raw-mutex", "std synchronization primitive outside common/mutex.h"},
-      {"stray-thread", "threading primitive outside metrics/parallel_runner"},
+      {"stray-thread",
+       "threading primitive outside metrics/parallel_runner / "
+       "common/worker_pool"},
       {"volatile-qualifier", "volatile used as a synchronization tool"},
       {"unordered-iteration", "iteration over an unordered container"},
   };

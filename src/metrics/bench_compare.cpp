@@ -83,6 +83,9 @@ CompareResult compare_bench(const BenchDoc& baseline, const BenchDoc& current,
   CompareResult result;
   const bool higher = higher_is_better(options.metric);
   for (const BenchRow& base : baseline.rows) {
+    if (!options.rows.empty() &&
+        base.name.find(options.rows) == std::string::npos)
+      continue;
     const BenchRow* cur = nullptr;
     for (const BenchRow& c : current.rows) {
       if (c.name == base.name) {
@@ -110,15 +113,31 @@ CompareResult compare_bench(const BenchDoc& baseline, const BenchDoc& current,
     if (cmp.speedup > result.best_speedup) result.best_speedup = cmp.speedup;
     result.rows.push_back(std::move(cmp));
   }
-  if (options.require_speedup > 0.0)
-    result.speedup_met = result.best_speedup >= options.require_speedup;
+  result.empty_selection =
+      !options.rows.empty() && result.rows.empty() && result.missing.empty();
+  if (options.require_speedup > 0.0) {
+    if (options.rows.empty()) {
+      result.speedup_met = result.best_speedup >= options.require_speedup;
+    } else {
+      // A filtered comparison names exactly the rows the speedup claim is
+      // about, so every one of them must deliver it (and an empty
+      // selection must not read as "met").
+      result.speedup_met = !result.rows.empty();
+      for (const RowComparison& row : result.rows)
+        if (row.speedup < options.require_speedup) result.speedup_met = false;
+    }
+  }
   return result;
 }
 
 void print_comparison(const CompareResult& result, const CompareOptions& options,
                       std::ostream& os) {
   os << "bench_compare: metric=" << options.metric
-     << " tolerance=" << options.tolerance << '\n';
+     << " tolerance=" << options.tolerance;
+  if (!options.rows.empty()) os << " rows~\"" << options.rows << '"';
+  os << '\n';
+  if (!options.rows.empty() && result.rows.empty() && result.missing.empty())
+    os << "  (no baseline row matches the filter)\n";
   for (const RowComparison& row : result.rows) {
     os << "  " << (row.regressed ? "REGRESSED " : "ok        ") << row.name
        << ": " << row.baseline << " -> " << row.current << " (x" << row.speedup

@@ -45,7 +45,14 @@ struct CompareOptions {
   std::string metric = "refs_per_sec";
   /// When > 0, at least one compared row must show current/baseline >=
   /// this speedup factor (used to assert a claimed improvement landed).
+  /// With a `rows` filter the requirement hardens to EVERY selected row —
+  /// a narrowed comparison names exactly the rows the claim is about.
   double require_speedup = 0.0;
+  /// When non-empty, only baseline rows whose name contains this substring
+  /// are compared (missing-row detection included). Lets CI gate a
+  /// specific claim ("the fig7 rows got faster") without coupling it to
+  /// unrelated rows' noise.
+  std::string rows;
 };
 
 struct RowComparison {
@@ -62,8 +69,11 @@ struct CompareResult {
   std::vector<std::string> missing;  ///< baseline rows absent from current
   double best_speedup = 0.0;
   bool speedup_met = true;  ///< require_speedup satisfied (or not requested)
+  /// A `rows` filter that selects nothing — a typo'd filter must fail
+  /// loudly, not gate on zero rows.
+  bool empty_selection = false;
   bool ok() const {
-    if (!missing.empty() || !speedup_met) return false;
+    if (!missing.empty() || !speedup_met || empty_selection) return false;
     for (const RowComparison& r : rows)
       if (r.regressed) return false;
     return true;

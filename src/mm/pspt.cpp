@@ -5,11 +5,15 @@
 namespace cmcp::mm {
 
 Pspt::Pspt(CoreId num_cores)
-    : num_cores_(num_cores), tables_(num_cores), mapped_of_core_(num_cores, 0) {}
+    : num_cores_(num_cores),
+      mask_words_((num_cores + 63u) / 64u),
+      tables_(num_cores),
+      mapped_of_core_(num_cores, 0) {}
 
 void Pspt::reserve_units(UnitIdx n) {
   if (n <= directory_.size()) return;
   directory_.resize(n);
+  masks_.resize(static_cast<std::size_t>(n) * mask_words_, 0);
   for (auto& table : tables_) table.resize(n, 0);
 }
 
@@ -41,9 +45,11 @@ void Pspt::map(CoreId core, UnitIdx unit, Pfn pfn) {
   // Private PTEs for the same virtual address must define the same
   // translation on every core (paper section 2.3).
   CMCP_CHECK_MSG(info.pfn == pfn, "PSPT coherence violation: divergent pfn");
-  CMCP_CHECK(!info.mapping.test(core));
+  std::uint64_t& word = mask_of(unit)[core >> 6];
+  const std::uint64_t bit = std::uint64_t{1} << (core & 63);
+  CMCP_CHECK((word & bit) == 0);
   pte = kValid;
-  info.mapping.set(core);
+  word |= bit;
   ++info.count;
   ++mapped_of_core_[core];
 }
@@ -51,21 +57,22 @@ void Pspt::map(CoreId core, UnitIdx unit, Pfn pfn) {
 CoreMask Pspt::unmap_all(UnitIdx unit) {
   CMCP_CHECK_MSG(unit < directory_.size() && directory_[unit].present,
                  "unmap of an unmapped unit");
-  UnitInfo& info = directory_[unit];
-  const CoreMask affected = info.mapping;
-  affected.for_each([&](CoreId core) {
+  for_each_mapping(unit, [&](CoreId core) {
     std::uint8_t& pte = tables_[core][unit];
     CMCP_CHECK((pte & kValid) != 0);
     pte = 0;
     --mapped_of_core_[core];
   });
-  info = UnitInfo{};
+  std::uint64_t* w = mask_of(unit);
+  const CoreMask affected = widen(w);
+  for (unsigned i = 0; i < mask_words_; ++i) w[i] = 0;
+  directory_[unit] = UnitInfo{};
   --mapped_units_;
   return affected;
 }
 
 CoreMask Pspt::mapping_cores(UnitIdx unit) const {
-  return unit < directory_.size() ? directory_[unit].mapping : CoreMask{};
+  return unit < directory_.size() ? widen(mask_of(unit)) : CoreMask{};
 }
 
 unsigned Pspt::core_map_count(UnitIdx unit) const {
@@ -100,7 +107,7 @@ bool Pspt::test_accessed(UnitIdx unit, unsigned* pte_reads) const {
   // The scanner must consult every mapping core's private PTE.
   unsigned reads = 0;
   bool accessed = false;
-  directory_[unit].mapping.for_each([&](CoreId core) {
+  for_each_mapping(unit, [&](CoreId core) {
     ++reads;
     const std::uint8_t pte = tables_[core][unit];
     CMCP_CHECK((pte & kValid) != 0);
@@ -113,7 +120,7 @@ bool Pspt::test_accessed(UnitIdx unit, unsigned* pte_reads) const {
 bool Pspt::clear_accessed(UnitIdx unit) {
   if (unit >= directory_.size() || !directory_[unit].present) return false;
   bool was = false;
-  directory_[unit].mapping.for_each([&](CoreId core) {
+  for_each_mapping(unit, [&](CoreId core) {
     std::uint8_t& pte = tables_[core][unit];
     CMCP_CHECK((pte & kValid) != 0);
     was = was || (pte & kAccessed) != 0;
@@ -125,7 +132,7 @@ bool Pspt::clear_accessed(UnitIdx unit) {
 bool Pspt::test_dirty(UnitIdx unit) const {
   if (unit >= directory_.size() || !directory_[unit].present) return false;
   bool dirty = false;
-  directory_[unit].mapping.for_each([&](CoreId core) {
+  for_each_mapping(unit, [&](CoreId core) {
     if ((tables_[core][unit] & kDirty) != 0) dirty = true;
   });
   return dirty;
@@ -133,7 +140,7 @@ bool Pspt::test_dirty(UnitIdx unit) const {
 
 void Pspt::clear_dirty(UnitIdx unit) {
   if (unit >= directory_.size() || !directory_[unit].present) return;
-  directory_[unit].mapping.for_each([&](CoreId core) {
+  for_each_mapping(unit, [&](CoreId core) {
     tables_[core][unit] &= static_cast<std::uint8_t>(~kDirty);
   });
 }
@@ -147,7 +154,8 @@ void Pspt::corrupt_count_for_test(UnitIdx unit, unsigned count) {
 void Pspt::corrupt_mask_add_core_for_test(UnitIdx unit, CoreId core) {
   CMCP_CHECK_MSG(unit < directory_.size() && directory_[unit].present,
                  "corrupting an unmapped unit");
-  directory_[unit].mapping.set(core);
+  CMCP_CHECK(core < num_cores_);
+  mask_of(unit)[core >> 6] |= std::uint64_t{1} << (core & 63);
 }
 
 }  // namespace cmcp::mm

@@ -14,6 +14,7 @@
 // loads; no hashing anywhere.
 #pragma once
 
+#include <bit>
 #include <cstdint>
 #include <vector>
 
@@ -67,9 +68,14 @@ class Pspt final : public PageTable {
     kDirty = 1u << 2,
   };
 
+  /// Directory entry WITHOUT the mapping mask: the mask lives in the
+  /// parallel `masks_` array at runtime width (ceil(num_cores/64) words
+  /// per unit, not CoreMask::kWords). At the paper's 56 cores that is one
+  /// word per unit instead of seventeen — the directory is touched on
+  /// every fault and eviction, and shrinking the entry from three cache
+  /// lines to one is worth the widening copy at the CoreMask API boundary.
   struct UnitInfo {
     Pfn pfn = kInvalidPfn;
-    CoreMask mapping;
     unsigned count = 0;
     /// Directory entry liveness. Deliberately separate from `count`, which
     /// the corruption test hooks may set to arbitrary values (including 0)
@@ -77,13 +83,42 @@ class Pspt final : public PageTable {
     bool present = false;
   };
 
+  std::uint64_t* mask_of(UnitIdx unit) {
+    return &masks_[static_cast<std::size_t>(unit) * mask_words_];
+  }
+  const std::uint64_t* mask_of(UnitIdx unit) const {
+    return &masks_[static_cast<std::size_t>(unit) * mask_words_];
+  }
+
+  /// Widen a unit's stored mask words to a full CoreMask.
+  CoreMask widen(const std::uint64_t* w) const {
+    CoreMask m;
+    for (unsigned i = 0; i < mask_words_; ++i) m.set_word(i, w[i]);
+    return m;
+  }
+
+  /// Invoke fn(CoreId) for every mapping core of `unit`, ascending.
+  template <typename Fn>
+  void for_each_mapping(UnitIdx unit, Fn&& fn) const {
+    const std::uint64_t* w = mask_of(unit);
+    for (unsigned wi = 0; wi < mask_words_; ++wi) {
+      std::uint64_t word = w[wi];
+      while (word != 0) {
+        fn(static_cast<CoreId>(wi * 64 + std::countr_zero(word)));
+        word &= word - 1;
+      }
+    }
+  }
+
   /// Grow per-unit storage to cover `unit` (amortized; steady-state runs
   /// never hit the growth path because MemoryManager pre-reserves).
   void ensure_unit(UnitIdx unit);
 
   CoreId num_cores_;
+  unsigned mask_words_;                            ///< ceil(num_cores/64)
   std::vector<std::vector<std::uint8_t>> tables_;  ///< [core][unit] flag byte
   std::vector<UnitInfo> directory_;                ///< [unit]
+  std::vector<std::uint64_t> masks_;  ///< [unit * mask_words_] mapping mask
   std::vector<std::uint64_t> mapped_of_core_;      ///< [core] valid PTE count
   std::uint64_t mapped_units_ = 0;                 ///< present directory entries
 };

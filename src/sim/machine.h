@@ -11,6 +11,7 @@
 #include <span>
 #include <vector>
 
+#include "common/assert.h"
 #include "common/core_mask.h"
 #include "common/mutex.h"
 #include "common/thread_annotations.h"
@@ -83,11 +84,19 @@ class Machine {
 
   PcieLink& pcie() { return pcie_; }
   /// Quiescent-phase accessor (post-run introspection): the interconnect is
-  /// guarded by `shootdown_mu_` while shootdowns run; call this only when no
-  /// shootdown can be in flight.
+  /// guarded by `shootdown_mu_` while shootdowns run. Asserts quiescence
+  /// instead of trusting the caller — the engine brackets its run with
+  /// set_engine_running(), so a mid-run call aborts deterministically.
   Interconnect& interconnect() CMCP_NO_THREAD_SAFETY_ANALYSIS {
+    CMCP_CHECK_MSG(!engine_running_,
+                   "interconnect() is a quiescent-phase accessor; while the "
+                   "engine runs the interconnect is guarded by shootdown_mu_");
     return interconnect_;
   }
+
+  /// Engine entry/exit bracket for the quiescent-phase assertions above.
+  /// Only the engine's coordinator thread calls this.
+  void set_engine_running(bool running) { engine_running_ = running; }
 
   /// Attach/detach the structured event sink. Null (the default) disables
   /// tracing; every emit point is then a single pointer test.
@@ -177,6 +186,10 @@ class Machine {
   // protocol serializes on `shootdown_mu_` below, the lock modelling the
   // kernel's invalidation-request slot (paper section 5.5).
   std::vector<Cycles> clocks_;
+  /// ceil(total_cores()/64): live word count for CoreMask scans on the
+  /// shootdown path — target masks can never have bits past the machine's
+  /// core range, so the fixed-capacity tail is skipped.
+  std::size_t mask_words_ = CoreMask::kWords;
   std::vector<Tlb> tlbs_;
   std::vector<metrics::CoreCounters> counters_;
   /// Core -> owning address space, for tagging machine-level trace events.
@@ -187,6 +200,9 @@ class Machine {
   Interconnect interconnect_ CMCP_GUARDED_BY(shootdown_mu_);
   trace::EventSink* trace_ = nullptr;  ///< non-owning; null = disabled
   FaultPlan* faults_ = nullptr;        ///< non-owning; null = perfect machine
+  /// True between the engine's set_engine_running(true/false) bracket;
+  /// written only by the coordinator thread.
+  bool engine_running_ = false;
 };
 
 }  // namespace cmcp::sim

@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cctype>
 #include <initializer_list>
 #include <memory>
 #include <sstream>
@@ -50,8 +51,10 @@ class ScriptedWorkload final : public wl::Workload {
 };
 
 /// Run a constrained two-core workload and return its JSONL trace.
-std::string traced_run(PolicyKind policy, double fraction,
-                       bool write = true) {
+/// `scan_period` != 0 shrinks the scanner tick so the short scripted run
+/// still produces scan-pass events.
+std::string traced_run(PolicyKind policy, double fraction, bool write = true,
+                       Cycles scan_period = 0) {
   sim::trace::EventSink sink;
   std::vector<wl::Op> script = {wl::Op::access(0, write, 32),
                                 wl::Op::barrier(),
@@ -61,6 +64,7 @@ std::string traced_run(PolicyKind policy, double fraction,
   config.machine.num_cores = 2;
   config.policy.kind = policy;
   config.memory_fraction = fraction;
+  if (scan_period != 0) config.machine.cost.scan_period = scan_period;
   config.trace = &sink;
   core::Simulation sim(config, w);
   const auto result = sim.run();
@@ -207,6 +211,40 @@ TEST(TraceLint, CorruptedDirtyFlagIsWritebackMismatch) {
   text.replace(text.find(eviction), eviction.size(), dirty);
   const LintResult result = lint_string(text);
   EXPECT_TRUE(contains(rules_of(result), "writeback-mismatch"));
+}
+
+TEST(TraceLint, OutOfOrderFaultIsCoreTimeRegression) {
+  std::string text = traced_run(PolicyKind::kCmcp, 0.5);
+  const std::string fault = first_line(text, "\"kind\":\"major_fault\"");
+  ASSERT_FALSE(fault.empty());
+  // Re-emit the stream's first major fault just before the summary: its
+  // timestamp is now far below that core's per-(asid, core) watermark, the
+  // signature of an exporter (or engine) merging events out of
+  // virtual-time order.
+  const std::size_t summary_pos = text.find("{\"type\":\"summary\"");
+  ASSERT_NE(summary_pos, std::string::npos);
+  text.insert(summary_pos, fault + "\n");
+  EXPECT_TRUE(contains(rules_of(lint_string(text)), "core-time-regression"));
+}
+
+TEST(TraceLint, OutOfOrderScanPassIsCoreTimeRegression) {
+  // Scanner passes are in the monotonicity watermark too (they are stamped
+  // with the scanner pseudo-core's tick time).
+  std::string text =
+      traced_run(PolicyKind::kLru, 0.5, /*write=*/true, /*scan_period=*/2000);
+  std::string scan = first_line(text, "\"kind\":\"scan_pass\"");
+  ASSERT_FALSE(scan.empty()) << "no scanner pass in the LRU trace";
+  const std::size_t ts_pos = scan.find("\"ts\":");
+  ASSERT_NE(ts_pos, std::string::npos);
+  std::size_t digits = ts_pos + 5;
+  while (digits < scan.size() &&
+         std::isdigit(static_cast<unsigned char>(scan[digits])) != 0)
+    ++digits;
+  scan.replace(ts_pos, digits - ts_pos, "\"ts\":0");
+  const std::size_t summary_pos = text.find("{\"type\":\"summary\"");
+  ASSERT_NE(summary_pos, std::string::npos);
+  text.insert(summary_pos, scan + "\n");
+  EXPECT_TRUE(contains(rules_of(lint_string(text)), "core-time-regression"));
 }
 
 TEST(TraceLint, MissingMetaAndSummaryAreReported) {

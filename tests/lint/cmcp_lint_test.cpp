@@ -151,6 +151,21 @@ TEST(CmcpLint, SanctionedOwnersAreExempt) {
       lint_source("src/common/other.h", "std::mutex mu_;").empty());
 }
 
+TEST(CmcpLint, StrayThreadSanctionsExactlyTheTwoPools) {
+  // The engine's worker pool and the experiment runner are the only files
+  // allowed to create threads; the same tokens anywhere else — including a
+  // sibling in src/common — still fire.
+  const std::string src = "std::thread t_; std::atomic<int> n_;";
+  EXPECT_TRUE(lint_source("src/common/worker_pool.h", src).empty());
+  EXPECT_TRUE(lint_source("src/common/worker_pool.cpp", src).empty());
+  EXPECT_TRUE(lint_source("src/metrics/parallel_runner.cpp", src).empty());
+  EXPECT_EQ(lint_source("src/common/other_pool.cpp", src).size(), 2u);
+  EXPECT_EQ(lint_source("src/sim/machine.cpp", src).size(), 2u);
+  EXPECT_EQ(count_by_rule(lint_source("src/common/other_pool.cpp",
+                                      src))["stray-thread"],
+            2);
+}
+
 // ---------------------------------------------------------------------------
 // Catalog coverage: every advertised rule has a firing fixture
 // ---------------------------------------------------------------------------

@@ -131,6 +131,53 @@ TEST(BenchCompareTest, RequireSpeedupGate) {
   EXPECT_DOUBLE_EQ(result.best_speedup, 1.8);
 }
 
+TEST(BenchCompareTest, RowsFilterSelectsSubset) {
+  const BenchDoc base = doc_from(kTwoRows);
+  BenchDoc cur = base;
+  // Tank the micro row; a comparison filtered to sim rows must not see it.
+  cur.rows[1].refs_per_sec = base.rows[1].refs_per_sec * 0.1;
+  CompareOptions options;
+  options.rows = "sim_";
+  const CompareResult result = compare_bench(base, cur, options);
+  ASSERT_EQ(result.rows.size(), 1u);
+  EXPECT_EQ(result.rows[0].name, "sim_a");
+  EXPECT_TRUE(result.ok());
+  // Unfiltered, the regression is visible again.
+  EXPECT_FALSE(compare_bench(base, cur, CompareOptions{}).ok());
+  // A row missing from current still fails inside the filter.
+  cur.rows.erase(cur.rows.begin());
+  EXPECT_FALSE(compare_bench(base, cur, options).ok());
+}
+
+TEST(BenchCompareTest, RowsFilterMatchingNothingFails) {
+  const BenchDoc doc = doc_from(kTwoRows);
+  CompareOptions options;
+  options.rows = "no_such_row";
+  const CompareResult result = compare_bench(doc, doc, options);
+  EXPECT_TRUE(result.empty_selection);
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(BenchCompareTest, RequireSpeedupWithRowsFilterDemandsEveryRow) {
+  const BenchDoc base = doc_from(kTwoRows);
+  BenchDoc cur = base;
+  cur.rows[0].refs_per_sec = base.rows[0].refs_per_sec * 3.2;
+  cur.rows[1].refs_per_sec = base.rows[1].refs_per_sec * 1.2;
+  // Unfiltered: best-row semantics, 3.2x meets the bar.
+  CompareOptions options;
+  options.require_speedup = 3.0;
+  EXPECT_TRUE(compare_bench(base, cur, options).ok());
+  // Filtered to both rows (empty-string filter differs from no filter):
+  // every selected row must deliver, and micro_b's 1.2x does not.
+  options.rows = "_";
+  const CompareResult all = compare_bench(base, cur, options);
+  EXPECT_FALSE(all.speedup_met);
+  EXPECT_FALSE(all.ok());
+  // Filtered to the row that did speed up, the claim holds.
+  options.rows = "sim_";
+  EXPECT_TRUE(compare_bench(base, cur, options).ok());
+}
+
 // The committed fixtures back CI's live exit-code check of the CLI: the
 // regressed document must fail against the baseline (one halved row, one
 // dropped row), and the baseline must pass against itself.

@@ -4,6 +4,7 @@
 //
 //   bench_compare BASELINE.json CURRENT.json [--tolerance 0.25]
 //                 [--metric refs_per_sec|ns_per_ref] [--require-speedup 1.5]
+//                 [--rows SUBSTR]
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -17,7 +18,8 @@ namespace {
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s BASELINE.json CURRENT.json [--tolerance F] "
-               "[--metric refs_per_sec|ns_per_ref] [--require-speedup F]\n",
+               "[--metric refs_per_sec|ns_per_ref] [--require-speedup F] "
+               "[--rows SUBSTR]\n",
                argv0);
   return 2;
 }
@@ -37,6 +39,8 @@ int main(int argc, char** argv) {
         return usage(argv[0]);
     } else if (std::strcmp(argv[i], "--require-speedup") == 0 && i + 1 < argc) {
       options.require_speedup = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--rows") == 0 && i + 1 < argc) {
+      options.rows = argv[++i];
     } else if (argv[i][0] != '-' && npaths < 2) {
       paths[npaths++] = argv[i];
     } else {

@@ -30,6 +30,9 @@ using namespace cmcp;
       "  --workload bt|lu|cg|scale   (default bt)\n"
       "  --size small|big            footprint class (default small)\n"
       "  --cores N                   simulated cores (default 56)\n"
+      "  --threads N                 host worker threads (default 1 = serial;\n"
+      "                              0 = hardware concurrency); results and\n"
+      "                              traces are identical at any value\n"
       "  --policy fifo|lru|cmcp|clock|lfu|random|cmcp-dyn|arc (default cmcp)\n"
       "  --p X                       CMCP prioritized ratio (default per workload)\n"
       "  --pt pspt|regular           page tables (default pspt)\n"
@@ -98,6 +101,10 @@ int main(int argc, char** argv) {
         usage(argv[0]);
     } else if (arg == "--cores") {
       config.machine.num_cores = static_cast<CoreId>(std::atoi(need_value(i)));
+    } else if (arg == "--threads") {
+      // Execution knob only: deliberately kept out of the exported metadata
+      // so traces stay byte-identical across thread counts.
+      config.threads = static_cast<unsigned>(std::atoi(need_value(i)));
     } else if (arg == "--policy") {
       const std::string_view v = need_value(i);
       if (v == "fifo") config.policy.kind = PolicyKind::kFifo;
